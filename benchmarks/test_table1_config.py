@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (simulator configuration)."""
+
+from repro.experiments import table1_config
+
+
+def test_table1_config(run_once, record_result):
+    result = run_once(lambda: table1_config.run())
+    record_result(result)
+    labels = [r["parameter"] for r in result.rows]
+    assert labels[0] == "Frequency"
+    assert len(labels) == 10

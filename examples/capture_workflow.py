@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Capture workflow: render once, save, sweep design points later.
+
+Rendering is the expensive half of every experiment; evaluations are
+cheap post-processing. This demo renders a frame, serializes the
+capture to disk (`repro.renderer.serialization`), reloads it in a
+"second session" and sweeps thresholds against the loaded capture —
+the workflow for studying design points without re-rendering (or for
+rendering on one machine and analyzing on another).
+
+Usage::
+
+    python examples/capture_workflow.py [--path capture.npz]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro import RenderSession, SCENARIOS, get_workload
+from repro.renderer.serialization import load_capture, save_capture
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="doom3-1280x1024")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--path", default="capture.npz")
+    args = parser.parse_args()
+
+    session = RenderSession(scale=args.scale)
+    workload = get_workload(args.workload)
+
+    t0 = time.time()
+    capture = session.capture_frame(workload, 0)
+    render_seconds = time.time() - t0
+    path = save_capture(args.path, capture)
+    size_kb = os.path.getsize(path) / 1024
+    print(f"Rendered {workload.name} in {render_seconds:.2f}s and saved "
+          f"{capture.num_pixels} pixels of capture state to {path} "
+          f"({size_kb:.0f} KiB)\n")
+
+    # A fresh session (imagine a different machine) reloads and sweeps.
+    analyzer = RenderSession(scale=args.scale)
+    loaded = load_capture(path)
+    baseline = analyzer.evaluate(loaded, SCENARIOS["baseline"], 1.0)
+    print(f"{'threshold':>9} {'speedup':>8} {'MSSIM':>7} {'eval time':>10}")
+    for threshold in (0.0, 0.2, 0.4, 0.6, 0.8):
+        t0 = time.time()
+        r = analyzer.evaluate(loaded, SCENARIOS["patu"], threshold)
+        dt = time.time() - t0
+        print(f"{threshold:>9.1f} {baseline.frame_cycles / r.frame_cycles:>7.2f}x "
+              f"{r.mssim:>7.3f} {dt:>9.2f}s")
+    print("\nEach design point costs a fraction of the render it reuses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: render one game frame and compare PATU against baseline AF.
+
+Runs the whole stack on a single Half-Life 2 frame: capture the frame
+once, then evaluate the four design points of the paper (baseline 16x
+AF, AF-SSIM(N), AF-SSIM(N)+(Txds), full PATU) at the default threshold
+0.4 and print the Fig. 18/19/20-style comparison.
+
+Usage::
+
+    python examples/quickstart.py [--scale 0.25] [--workload HL2-1600x1200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import RenderSession, SCENARIOS, get_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="HL2-1600x1200")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="render-resolution scale factor")
+    parser.add_argument("--threshold", type=float, default=0.4,
+                        help="unified AF-SSIM threshold (paper default: 0.4)")
+    args = parser.parse_args()
+
+    session = RenderSession(scale=args.scale)
+    workload = get_workload(args.workload)
+    print(f"Rendering {workload.name} at scale {args.scale} "
+          f"({workload.scaled_size(args.scale)[0]}x"
+          f"{workload.scaled_size(args.scale)[1]} pixels)...")
+    capture = session.capture_frame(workload, frame_index=0)
+    print(f"  {capture.num_pixels} visible pixels, "
+          f"mean anisotropy N = {capture.mean_anisotropy:.2f}, "
+          f"mean Txds = {capture.txds.mean():.2f}")
+
+    baseline = session.evaluate(capture, SCENARIOS["baseline"], 1.0)
+    print(f"\n{'design':<20}{'speedup':>9}{'MSSIM':>8}{'energy':>8}"
+          f"{'tex latency':>13}{'approx':>8}")
+    for name in ("baseline", "afssim_n", "afssim_n_txds", "patu"):
+        threshold = 1.0 if name == "baseline" else args.threshold
+        r = session.evaluate(capture, SCENARIOS[name], threshold)
+        print(
+            f"{SCENARIOS[name].label:<20}"
+            f"{baseline.frame_cycles / r.frame_cycles:>8.2f}x"
+            f"{r.mssim:>8.3f}"
+            f"{r.total_energy_nj / baseline.total_energy_nj:>8.2f}"
+            f"{r.request_latency / baseline.request_latency:>12.2f}x"
+            f"{r.approximation_rate:>8.1%}"
+        )
+    print("\n(speedup/energy/latency are relative to the 16x-AF baseline;"
+          " MSSIM is measured against the baseline image)")
+
+
+if __name__ == "__main__":
+    main()

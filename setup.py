@@ -1,0 +1,7 @@
+"""Setup shim enabling legacy editable installs on environments without
+the ``wheel`` package (``pip install -e . --no-use-pep517``).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Result analysis: headline-claim extraction and report generation.
+
+Turns a set of :class:`~repro.experiments.runner.ExperimentResult`
+objects into (a) a structured comparison against the paper's headline
+numbers and (b) a markdown report — the programmatic counterpart of
+EXPERIMENTS.md.
+"""
+
+from .claims import Claim, PAPER_CLAIMS, evaluate_claims
+from .report import build_report, run_all
+
+__all__ = ["Claim", "PAPER_CLAIMS", "build_report", "evaluate_claims", "run_all"]

@@ -1,0 +1,137 @@
+"""The paper's headline claims, as checkable predicates over results.
+
+Each :class:`Claim` names the paper's number, how to extract the
+measured counterpart from the experiment results, and the acceptance
+band within which the reproduction counts as matching the claim's
+*shape*. The bands are deliberately wide — see EXPERIMENTS.md for why
+magnitudes can differ — but every claim still has a falsifiable
+direction (a sign, an ordering, or a ratio range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ExperimentError
+from ..experiments.runner import ExperimentResult
+
+#: Extractor: experiment-id -> result mapping, returns the measured value.
+Extractor = Callable[[dict], float]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable headline claim."""
+
+    name: str
+    paper_value: float
+    lo: float
+    hi: float
+    experiment: str
+    extract: Extractor
+
+    def measure(self, results: "dict[str, ExperimentResult]") -> float:
+        if self.experiment not in results:
+            raise ExperimentError(
+                f"claim {self.name!r} needs experiment {self.experiment!r}"
+            )
+        return float(self.extract(results))
+
+    def holds(self, results: "dict[str, ExperimentResult]") -> bool:
+        return self.lo <= self.measure(results) <= self.hi
+
+
+def _avg_row(results, experiment):
+    rows = results[experiment].rows
+    for row in rows:
+        if row.get("workload") == "average":
+            return row
+    raise ExperimentError(f"{experiment} has no average row")
+
+
+PAPER_CLAIMS: "tuple[Claim, ...]" = (
+    Claim(
+        name="AF-off speedup (Fig. 5)",
+        paper_value=1.41, lo=1.15, hi=1.9,
+        experiment="fig5",
+        extract=lambda r: _avg_row(r, "fig5")["speedup"],
+    ),
+    Claim(
+        name="AF-off energy reduction (Fig. 5)",
+        paper_value=0.28, lo=0.1, hi=0.5,
+        experiment="fig5",
+        extract=lambda r: _avg_row(r, "fig5")["energy_reduction"],
+    ),
+    Claim(
+        name="AF-off quality loss (Fig. 7)",
+        paper_value=0.28, lo=0.02, hi=0.45,
+        experiment="fig7",
+        extract=lambda r: _avg_row(r, "fig7")["quality_loss"],
+    ),
+    Claim(
+        name="texel-set sharing (Fig. 12)",
+        paper_value=0.62, lo=0.35, hi=0.85,
+        experiment="fig12",
+        extract=lambda r: _avg_row(r, "fig12")["sharing_fraction"],
+    ),
+    Claim(
+        name="PATU speedup @0.4 (Fig. 19)",
+        paper_value=1.17, lo=1.03, hi=1.45,
+        experiment="fig19",
+        extract=lambda r: _avg_row(r, "fig19")["patu_speedup"],
+    ),
+    Claim(
+        name="PATU MSSIM @0.4 (Fig. 19)",
+        paper_value=0.93, lo=0.90, hi=1.0,
+        experiment="fig19",
+        extract=lambda r: _avg_row(r, "fig19")["patu_mssim"],
+    ),
+    Claim(
+        name="PATU energy reduction (Fig. 20)",
+        paper_value=0.11, lo=0.04, hi=0.35,
+        experiment="fig20",
+        extract=lambda r: 1.0 - _avg_row(r, "fig20")["patu"],
+    ),
+    Claim(
+        name="PATU filtering-latency reduction (Fig. 18)",
+        paper_value=0.29, lo=0.10, hi=0.55,
+        experiment="fig18",
+        extract=lambda r: 1.0 - _avg_row(r, "fig18")["patu"],
+    ),
+    Claim(
+        name="quad divergence (Sec. V-C)",
+        paper_value=0.01, lo=0.0, hi=0.03,
+        experiment="sec5c",
+        extract=lambda r: _avg_row(r, "sec5c")["quad_divergence"],
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """Evaluation of one claim against a result set."""
+
+    claim: Claim
+    measured: float
+    holds: bool
+
+
+def evaluate_claims(
+    results: "dict[str, ExperimentResult]",
+    claims: "tuple[Claim, ...]" = PAPER_CLAIMS,
+) -> "list[ClaimOutcome]":
+    """Check every claim whose experiment is present in ``results``."""
+    outcomes = []
+    for claim in claims:
+        if claim.experiment not in results:
+            continue
+        measured = claim.measure(results)
+        outcomes.append(
+            ClaimOutcome(
+                claim=claim,
+                measured=measured,
+                holds=claim.lo <= measured <= claim.hi,
+            )
+        )
+    return outcomes

@@ -1,0 +1,103 @@
+"""Dependency-free ASCII charts for experiment results.
+
+The paper's figures are line/bar charts; these helpers render their
+reproduction counterparts directly in a terminal (used by the CLI's
+``experiment --plot`` flag and handy in notebooks without matplotlib).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x: "list[float]",
+    series: "dict[str, list[float]]",
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y(x) series as an ASCII chart.
+
+    All series share the x grid; y axes are scaled to the joint range.
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    if width < 10 or height < 4:
+        raise ReproError("chart must be at least 10x4")
+    xs = np.asarray(x, dtype=np.float64)
+    if xs.size < 2:
+        raise ReproError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != xs.size:
+            raise ReproError(f"series {name!r} length mismatch")
+
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(xs, np.asarray(ys, dtype=np.float64)):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3f} +" + "-" * width + "+")
+    for i, row in enumerate(grid):
+        prefix = y_label.rjust(10) if (y_label and i == height // 2) else " " * 10
+        lines.append(prefix + " |" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.3f} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x_lo:<.2f}".ljust(width // 2)
+                 + f"{x_hi:>.2f}".rjust(width // 2))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: "list[str]",
+    values: "list[float]",
+    *,
+    width: int = 40,
+    title: str = "",
+    baseline: "float | None" = None,
+) -> str:
+    """Render labelled horizontal bars; optionally mark a baseline value."""
+    if len(labels) != len(values):
+        raise ReproError("labels and values length mismatch")
+    if not labels:
+        raise ReproError("need at least one bar")
+    vals = np.asarray(values, dtype=np.float64)
+    v_max = float(max(vals.max(), baseline or 0.0))
+    if v_max <= 0:
+        raise ReproError("bar chart needs positive values")
+    label_w = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, vals):
+        bar = "#" * max(int(round(value / v_max * width)), 0)
+        line = f"{label.rjust(label_w)} |{bar:<{width}}| {value:.3f}"
+        if baseline is not None:
+            mark = min(int(round(baseline / v_max * width)), width - 1)
+            chars = list(line)
+            pos = label_w + 2 + mark
+            if 0 <= pos < len(chars) and chars[pos] == " ":
+                chars[pos] = ":"
+            line = "".join(chars)
+        lines.append(line)
+    return "\n".join(lines)

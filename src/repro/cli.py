@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``list`` — available workloads and experiment ids.
+* ``experiment <id>`` — run one paper table/figure reproduction and
+  print its table (optionally at a custom scale / frame count).
+* ``render <workload>`` — render a frame under a design point and
+  write the color image (PPM), the baseline image and the SSIM map
+  (PGM) to a directory.
+* ``compare <workload>`` — the quickstart comparison of all four
+  design scenarios on one frame.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from .core.patu import FilterMode, PerceptionAwareTextureUnit
+from .core.scenarios import SCENARIOS, get_scenario
+from .errors import ReproError
+from .experiments import REGISTRY, ExperimentContext
+from .experiments.runner import DEFAULT_WORKLOADS, format_table
+from .quality.imageio import write_pgm, write_ppm
+from .quality.ssim import ssim_map
+from .renderer.session import RenderSession
+from .workloads.games import get_workload, workload_names
+
+
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="render-resolution scale factor (default 0.25)")
+
+
+def _cmd_list(_args) -> int:
+    print("Workloads (Table II):")
+    for name in workload_names():
+        print(f"  {name}")
+    print("\nExperiments:")
+    for exp_id, module in REGISTRY.items():
+        print(f"  {exp_id:<26} {module.TITLE}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; run `list` to see ids",
+              file=sys.stderr)
+        return 2
+    workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
+    ctx = ExperimentContext(
+        scale=args.scale, frames=args.frames, workloads=workloads
+    )
+    result = REGISTRY[args.id].run(ctx)
+    print(format_table(result))
+    if args.plot:
+        chart = _plot_result(result)
+        if chart:
+            print(chart)
+        else:
+            print("(no plottable structure in this experiment)")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(format_table(result))
+        print(f"wrote {path}")
+    return 0
+
+
+def _plot_result(result) -> "str | None":
+    """Best-effort ASCII chart for an experiment's rows."""
+    from .analysis.plots import bar_chart, line_chart
+
+    rows = result.rows
+    if not rows:
+        return None
+    avg_rows = [r for r in rows if r.get("workload") == "average"]
+    if avg_rows and "threshold" in avg_rows[0]:
+        xs = [r["threshold"] for r in avg_rows]
+        series = {
+            k: [r[k] for r in avg_rows]
+            for k in avg_rows[0]
+            if k not in ("workload", "threshold")
+            and isinstance(avg_rows[0][k], (int, float))
+        }
+        return line_chart(xs, series, title=f"{result.experiment} (average)")
+    if avg_rows:
+        numeric = {
+            k: v for k, v in avg_rows[-1].items()
+            if isinstance(v, (int, float))
+        }
+        if numeric:
+            return bar_chart(
+                list(numeric), list(numeric.values()),
+                title=f"{result.experiment} (average)", baseline=1.0,
+            )
+    return None
+
+
+def _cmd_render(args) -> int:
+    session = RenderSession(scale=args.scale)
+    workload = get_workload(args.workload)
+    scenario = get_scenario(args.scenario)
+    capture = session.capture_frame(workload, args.frame)
+    result = session.evaluate(
+        capture, scenario, args.threshold, store_image=True
+    )
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    frame_rgb = np.zeros((capture.height, capture.width, 3), dtype=np.float64)
+    frame_rgb[:] = np.asarray(workload.scene.clear_color[:3])
+    device = PerceptionAwareTextureUnit(scenario, args.threshold)
+    decision = device.decide(capture.n, capture.txds)
+    selected = capture.af_color.copy()
+    for mode, table in (
+        (FilterMode.TF_TF_LOD, capture.tf_color),
+        (FilterMode.TF_AF_LOD, capture.tfa_color),
+    ):
+        mask = decision.mode == mode
+        selected[mask] = table[mask]
+    frame_rgb[capture.rows, capture.cols] = selected[:, :3]
+
+    write_ppm(out / "frame.ppm", frame_rgb)
+    write_pgm(out / "baseline_luminance.pgm", capture.baseline_luminance)
+    if result.luminance is not None:
+        index_map = ssim_map(result.luminance, capture.baseline_luminance)
+        write_pgm(out / "ssim_map.pgm", (index_map + 1.0) / 2.0)
+
+    print(f"wrote frame.ppm / baseline_luminance.pgm / ssim_map.pgm to {out}")
+    print(f"MSSIM {result.mssim:.3f}, approximation rate "
+          f"{result.approximation_rate:.1%}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import build_report, run_all
+
+    workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
+    ctx = ExperimentContext(
+        scale=args.scale, frames=args.frames, workloads=workloads
+    )
+    ids = tuple(args.experiments) if args.experiments else None
+    results = run_all(ctx, experiment_ids=ids)
+    text = build_report(results)
+    out = pathlib.Path(args.out)
+    out.write_text(text)
+    print(text.split("## Experiment tables")[0])
+    print(f"full report written to {out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    session = RenderSession(scale=args.scale)
+    workload = get_workload(args.workload)
+    capture = session.capture_frame(workload, args.frame)
+    baseline = session.evaluate(capture, SCENARIOS["baseline"], 1.0)
+    print(f"{workload.name}: {capture.num_pixels} pixels, "
+          f"mean N {capture.mean_anisotropy:.2f}")
+    print(f"{'design':<20}{'speedup':>9}{'MSSIM':>8}{'energy':>8}{'approx':>8}")
+    for name, scenario in SCENARIOS.items():
+        threshold = 1.0 if name == "baseline" else args.threshold
+        r = session.evaluate(capture, scenario, threshold)
+        print(f"{scenario.label:<20}"
+              f"{baseline.frame_cycles / r.frame_cycles:>8.2f}x"
+              f"{r.mssim:>8.3f}"
+              f"{r.total_energy_nj / baseline.total_energy_nj:>8.2f}"
+              f"{r.approximation_rate:>8.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PATU (HPCA 2018) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    p_exp = sub.add_parser("experiment", help="run one table/figure")
+    p_exp.add_argument("id", help="experiment id (e.g. fig19)")
+    p_exp.add_argument("--frames", type=int, default=2)
+    p_exp.add_argument("--workloads", nargs="*", default=None)
+    p_exp.add_argument("--out", default=None, help="also write the table here")
+    p_exp.add_argument("--plot", action="store_true",
+                       help="render an ASCII chart of the average rows")
+    _add_session_args(p_exp)
+
+    p_render = sub.add_parser("render", help="render a frame to image files")
+    p_render.add_argument("workload")
+    p_render.add_argument("--frame", type=int, default=0)
+    p_render.add_argument("--scenario", default="patu",
+                          choices=sorted(SCENARIOS))
+    p_render.add_argument("--threshold", type=float, default=0.4)
+    p_render.add_argument("--out", default="render_out")
+    _add_session_args(p_render)
+
+    p_cmp = sub.add_parser("compare", help="compare the four designs")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("--frame", type=int, default=0)
+    p_cmp.add_argument("--threshold", type=float, default=0.4)
+    _add_session_args(p_cmp)
+
+    p_rep = sub.add_parser("report", help="run experiments, build a report")
+    p_rep.add_argument("--experiments", nargs="*", default=None,
+                       help="experiment ids (default: all paper artifacts)")
+    p_rep.add_argument("--frames", type=int, default=2)
+    p_rep.add_argument("--workloads", nargs="*", default=None)
+    p_rep.add_argument("--out", default="report.md")
+    _add_session_args(p_rep)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "render": _cmd_render,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

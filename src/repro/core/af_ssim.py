@@ -1,0 +1,151 @@
+"""AF-SSIM: the runtime-predictable structure-similarity formulation.
+
+Section IV of the paper derives, from the hardware filtering method
+(Eq. 3), that the AF and TF colors of a pixel relate by a scalar
+*similarity degree* ``mu = Y / X`` (Eq. 4), collapses SSIM to a
+function of that degree alone (Eq. 5), and then substitutes two
+runtime-computable proxies for ``mu``:
+
+* the anisotropy degree ``N`` (sample-area based prediction, Eq. 6) —
+  available right after texel generation;
+* the texel distribution similarity ``Txds`` (Eq. 9), derived from the
+  entropy (Eq. 8) of how AF's trilinear samples cluster into shared
+  texel sets — available right after texel address calculation.
+
+All functions are numpy-vectorized; the CSR variants operate on the
+flattened per-sample footprint keys the texture unit captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Stabilizing constant of Eq. (5); same role as C1 in classic SSIM.
+C1 = 1e-4
+
+
+def af_ssim_from_similarity(mu: np.ndarray, c1: float = C1) -> np.ndarray:
+    """Eq. (5): AF-SSIM as a function of the similarity degree ``mu``.
+
+    ``mu = 1`` (AF output identical to TF output) gives 1.0; the index
+    decays symmetrically as ``mu`` moves away from 1 in ratio.
+    """
+    mu = np.asarray(mu, dtype=np.float64)
+    return ((2.0 * mu + c1) / (mu * mu + 1.0 + c1)) ** 2
+
+
+def af_ssim_n(n: np.ndarray) -> np.ndarray:
+    """Eq. (6): sample-area based prediction ``AF_SSIM(N) = (2N/(N^2+1))^2``.
+
+    ``N = 1`` (isotropic footprint) predicts 1.0 — AF degenerates to
+    trilinear; ``N = 16`` predicts ~0.0155 — AF is essential.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    if np.any(n < 1):
+        raise ReproError("anisotropy degree N must be >= 1")
+    return (2.0 * n / (n * n + 1.0)) ** 2
+
+
+def entropy(p: np.ndarray) -> float:
+    """Eq. (8): Shannon entropy of a probability vector (bits).
+
+    Zero-probability events contribute nothing (the usual
+    ``0 log 0 = 0`` convention).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.size == 0:
+        raise ReproError("probability vector must be non-empty")
+    if np.any(p < 0) or not np.isclose(p.sum(), 1.0, atol=1e-9):
+        raise ReproError(f"not a probability vector: {p}")
+    nz = p[p > 0]
+    return float(-(nz * np.log2(nz)).sum())
+
+
+def txds(p: np.ndarray, n: int) -> float:
+    """Eq. (9): texel distribution similarity ``1 - H(P)/log2(N)``.
+
+    ``n`` is the AF sample size; for ``n == 1`` there is a single
+    (trivially concentrated) sample and Txds is defined as 1.
+    """
+    if n < 1:
+        raise ReproError(f"sample size must be >= 1, got {n}")
+    if n == 1:
+        return 1.0
+    h = entropy(p)
+    return float(1.0 - h / np.log2(n))
+
+
+def af_ssim_txds(txds_value: np.ndarray) -> np.ndarray:
+    """Eq. (10): distribution based prediction from Txds in [0, 1]."""
+    t = np.asarray(txds_value, dtype=np.float64)
+    if np.any(t < -1e-9) or np.any(t > 1.0 + 1e-9):
+        raise ReproError("Txds must lie in [0, 1]")
+    return (2.0 * t / (t * t + 1.0)) ** 2
+
+
+def _per_row_counts(keys: np.ndarray) -> np.ndarray:
+    """For dense ``(rows, n)`` keys: how many row-mates equal each entry."""
+    eq = keys[:, :, None] == keys[:, None, :]
+    return eq.sum(axis=2)
+
+
+def _row_entropy_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Row-wise entropy from per-element duplicate counts.
+
+    For a row whose distinct groups have sizes ``c_g`` summing to ``n``,
+    the entropy ``-sum p_g log2 p_g`` equals ``-(1/n) sum_j log2(c_j/n)``
+    where ``c_j`` is the group size of *element* ``j`` — each group of
+    size ``c`` contributes its term ``c`` times, scaled by ``1/c``
+    through the per-element weight ``1/n`` rather than ``p_g``.
+    """
+    n = counts.shape[1]
+    return -(np.log2(counts / n)).sum(axis=1) / n
+
+
+def txds_from_csr(keys: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
+    """Per-pixel Txds from CSR-packed sample footprint keys.
+
+    ``keys[row_ptr[i]:row_ptr[i+1]]`` are pixel ``i``'s AF sample keys.
+    Pixels with a single sample get Txds = 1. Rows are processed in
+    equal-length groups so each group is one dense vectorized kernel.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    num_rows = row_ptr.size - 1
+    lengths = np.diff(row_ptr)
+    out = np.ones(num_rows, dtype=np.float64)
+    for n in np.unique(lengths):
+        n = int(n)
+        if n <= 1:
+            continue
+        rows = np.nonzero(lengths == n)[0]
+        slots = row_ptr[rows][:, None] + np.arange(n)[None, :]
+        counts = _per_row_counts(keys[slots])
+        out[rows] = 1.0 - _row_entropy_from_counts(counts) / np.log2(n)
+    return np.clip(out, 0.0, 1.0)
+
+
+def sharing_fraction_from_csr(keys: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
+    """Per-pixel fraction of AF samples sharing the central sample's texel set.
+
+    The central sample is ``X_0`` in Fig. 9/11 — the trilinear sample
+    at the pixel's own (u, v), i.e. the one TF itself would take (at
+    AF's level). This is the quantity Fig. 12 averages across frames.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    num_rows = row_ptr.size - 1
+    lengths = np.diff(row_ptr)
+    out = np.ones(num_rows, dtype=np.float64)
+    for n in np.unique(lengths):
+        n = int(n)
+        if n <= 1:
+            continue
+        rows = np.nonzero(lengths == n)[0]
+        slots = row_ptr[rows][:, None] + np.arange(n)[None, :]
+        dense = keys[slots]
+        center = dense[:, (n - 1) // 2][:, None]
+        out[rows] = (dense == center).mean(axis=1)
+    return out

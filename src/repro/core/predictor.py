@@ -1,0 +1,109 @@
+"""The two-stage runtime AF-SSIM prediction flow (Fig. 13).
+
+Stage 1 fires right after texel generation: if ``AF_SSIM(N)`` exceeds
+the threshold the pixel is marked approximated and never produces AF
+sample addresses. Stage 2 fires after texel address calculation for
+the pixels stage 1 let through: if ``AF_SSIM(Txds)`` exceeds the same
+threshold the pixel is approximated late (its AF addresses are
+recalculated for a single trilinear sample). The paper uses one
+unified threshold for both stages (Section IV-C(C)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from .af_ssim import af_ssim_n, af_ssim_txds
+from .scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Per-pixel decisions of one prediction pass.
+
+    Attributes:
+        stage1: pixels approximated by the sample-area check.
+        stage2: pixels approximated by the distribution check (disjoint
+            from ``stage1`` — they already left the AF path).
+        approximated: union of the two.
+        predicted_n: the ``AF_SSIM(N)`` values (all pixels).
+        predicted_txds: the ``AF_SSIM(Txds)`` values (all pixels;
+            meaningful where stage 1 did not fire).
+    """
+
+    stage1: np.ndarray
+    stage2: np.ndarray
+    approximated: np.ndarray
+    predicted_n: np.ndarray
+    predicted_txds: np.ndarray
+
+    @property
+    def approximation_rate(self) -> float:
+        if self.approximated.size == 0:
+            return 0.0
+        return float(self.approximated.mean())
+
+
+class TwoStagePredictor:
+    """Applies the Fig. 13 flow for one scenario and threshold.
+
+    The paper uses one *unified* threshold for both stages "to simplify
+    the design" and "significantly reduce a large complex tuning space"
+    (Section IV-C(C)); ``stage2_threshold`` optionally splits the knob
+    for the ablation that justifies that simplification.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        threshold: float,
+        *,
+        stage2_threshold: "float | None" = None,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ReproError(
+                f"threshold must be in [0, 1] (the SSIM range), got {threshold}"
+            )
+        if stage2_threshold is not None and not 0.0 <= stage2_threshold <= 1.0:
+            raise ReproError(
+                f"stage2_threshold must be in [0, 1], got {stage2_threshold}"
+            )
+        self.scenario = scenario
+        self.threshold = threshold
+        self.stage2_threshold = (
+            threshold if stage2_threshold is None else stage2_threshold
+        )
+
+    def predict(self, n: np.ndarray, txds: np.ndarray) -> PredictionResult:
+        """Decide, per pixel, whether AF can be approximated.
+
+        Args:
+            n: int anisotropy degrees (>= 1).
+            txds: texel distribution similarity in [0, 1].
+        """
+        n = np.asarray(n)
+        txds = np.asarray(txds, dtype=np.float64)
+        if n.shape != txds.shape:
+            raise ReproError(f"N and Txds shapes differ: {n.shape} vs {txds.shape}")
+        pred_n = af_ssim_n(n)
+        pred_t = af_ssim_txds(txds)
+
+        no_af_needed = n <= 1  # TF-only pixels bypass both checks (V-B)
+        if self.scenario.use_stage1:
+            stage1 = (pred_n > self.threshold) & ~no_af_needed
+        else:
+            stage1 = np.zeros(n.shape, dtype=bool)
+        if self.scenario.use_stage2:
+            stage2 = (pred_t > self.stage2_threshold) & ~stage1 & ~no_af_needed
+        else:
+            stage2 = np.zeros(n.shape, dtype=bool)
+        return PredictionResult(
+            stage1=stage1,
+            stage2=stage2,
+            approximated=stage1 | stage2,
+            predicted_n=pred_n,
+            predicted_txds=pred_t,
+        )

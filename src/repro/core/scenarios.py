@@ -1,0 +1,75 @@
+"""The design scenarios evaluated in Section VII-B.
+
+Each scenario states which prediction stages are active and what LOD
+the approximated (TF-only) pixels sample at:
+
+* ``baseline`` — conventional 16x AF on every pixel.
+* ``afssim_n`` — stage-1 (sample-area) prediction only; approximated
+  pixels run TF at TF's own LOD, exhibiting the LOD shift of Fig. 15.
+* ``afssim_n_txds`` — both prediction stages; approximated pixels
+  still at TF's LOD (maximum speedup, worst quality).
+* ``patu`` — both stages + LOD-shift elimination: approximated pixels
+  reuse AF's finer LOD, recovering quality at a small traffic cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One design point of the evaluation."""
+
+    name: str
+    label: str
+    use_stage1: bool
+    use_stage2: bool
+    lod_reuse: bool
+
+    def __post_init__(self) -> None:
+        if self.use_stage2 and not self.use_stage1:
+            raise ReproError(
+                "stage 2 requires stage 1 (pixels reach the hash table only "
+                "after passing sample-area checking, Fig. 13)"
+            )
+        if self.lod_reuse and not self.use_stage1:
+            raise ReproError("LOD reuse only applies when approximation is on")
+
+    @property
+    def approximates(self) -> bool:
+        return self.use_stage1
+
+
+BASELINE = Scenario(
+    name="baseline", label="Baseline", use_stage1=False, use_stage2=False,
+    lod_reuse=False,
+)
+AFSSIM_N = Scenario(
+    name="afssim_n", label="AF-SSIM(N)", use_stage1=True, use_stage2=False,
+    lod_reuse=False,
+)
+AFSSIM_N_TXDS = Scenario(
+    name="afssim_n_txds", label="AF-SSIM(N)+(Txds)", use_stage1=True,
+    use_stage2=True, lod_reuse=False,
+)
+PATU = Scenario(
+    name="patu", label="PATU", use_stage1=True, use_stage2=True, lod_reuse=True,
+)
+
+#: All evaluated scenarios, in the paper's presentation order.
+SCENARIOS: "dict[str, Scenario]" = {
+    s.name: s for s in (BASELINE, AFSSIM_N, AFSSIM_N_TXDS, PATU)
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, raising a helpful error on typos."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,90 @@
+"""The software-based approximation alternative (paper Section III).
+
+The paper weighs two design choices and rejects the software one for
+three reasons: runtime cost, control granularity, and the inability to
+see fine-grained runtime texture attributes — "software methods have to
+treat all the textures equally, which is obviously against our key idea
+of only processing user-perceivable pixels."
+
+This module implements that rejected alternative so the argument can be
+measured (``experiments/ext_software``): the only knob a driver or
+application realistically has is per-draw-call (here: per bound
+texture) AF enablement, decided from an aggregate of the draw call's
+pixels rather than per-pixel predictor state. Texel addresses, hash
+tables and LOD reuse are hardware-internal, so the software path
+
+* decides per texture group, using the group's mean ``AF_SSIM(N)``
+  (the best information a profiling driver could gather);
+* runs approximated groups as plain trilinear at TF's LOD (LOD reuse
+  is a texture-unit trick, unavailable from the API);
+* pays no hash-table or per-pixel check costs (there is no PATU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .af_ssim import af_ssim_n
+from .patu import FilterMode, PatuDecision
+from .predictor import PredictionResult
+from .scenarios import Scenario
+
+#: Scenario tag for the software design point (not part of the paper's
+#: four evaluated hardware scenarios).
+SOFTWARE = Scenario(
+    name="software",
+    label="Software (per-draw-call)",
+    use_stage1=False,
+    use_stage2=False,
+    lod_reuse=False,
+)
+
+
+def software_decision(
+    tex_ids: np.ndarray,
+    n: np.ndarray,
+    threshold: float,
+) -> PatuDecision:
+    """Per-draw-call AF enablement, the Section III software strawman.
+
+    A texture group is approximated when the *mean* predicted
+    ``AF_SSIM(N)`` over its pixels clears the threshold — all of the
+    group's pixels then skip AF, including the ones a per-pixel scheme
+    would have kept (that coarseness is exactly the paper's granularity
+    argument).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ReproError(f"threshold must be in [0, 1], got {threshold}")
+    tex_ids = np.asarray(tex_ids, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    if tex_ids.shape != n.shape:
+        raise ReproError("tex_ids and n must align")
+
+    pred_n = af_ssim_n(np.maximum(n, 1))
+    approximated = np.zeros(n.shape, dtype=bool)
+    for tex in np.unique(tex_ids):
+        group = tex_ids == tex
+        if float(pred_n[group].mean()) > threshold:
+            approximated[group] = True
+    # Isotropic pixels never counted as approximated (nothing to skip).
+    approximated &= n > 1
+
+    mode = np.full(n.shape, FilterMode.AF, dtype=np.uint8)
+    mode[approximated | (n <= 1)] = FilterMode.TF_TF_LOD
+    trilinear = np.where(mode == FilterMode.AF, n, 1).astype(np.int64)
+    prediction = PredictionResult(
+        stage1=approximated,
+        stage2=np.zeros(n.shape, dtype=bool),
+        approximated=approximated,
+        predicted_n=pred_n,
+        predicted_txds=np.zeros(n.shape, dtype=np.float64),
+    )
+    return PatuDecision(
+        prediction=prediction,
+        mode=mode,
+        trilinear_samples=trilinear,
+        # The decision is made before any AF addresses are issued.
+        address_samples=trilinear.copy(),
+        hash_insertions=np.zeros(n.shape, dtype=np.int64),
+    )

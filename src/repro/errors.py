@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid GPU / experiment configuration was supplied."""
+
+
+class GeometryError(ReproError):
+    """Malformed geometric input (bad mesh, degenerate matrix, ...)."""
+
+
+class TextureError(ReproError):
+    """Malformed texture data or invalid sampling request."""
+
+
+class PipelineError(ReproError):
+    """The rendering pipeline was driven in an unsupported way."""
+
+
+class WorkloadError(ReproError):
+    """An unknown or invalid workload / game configuration was requested."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or executed incorrectly."""

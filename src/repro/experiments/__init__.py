@@ -1,0 +1,81 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run(ctx=None)`` returning an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows carry
+the same quantities the paper's artifact reports, plus
+``format_table(result)`` producing a printable table. The shared
+:class:`~repro.experiments.runner.ExperimentContext` caches frame
+captures and evaluations so the full suite renders each frame once.
+
+Index (see DESIGN.md §4): table1/table2 configuration dumps; fig03
+sharpness; fig04 R.Bench fps; fig05 AF-off speedup/energy; fig06
+bandwidth breakdown; fig07 AF-off MSSIM; fig08 SSIM map; fig12 texel
+sharing; fig15 LOD shift; fig17 threshold sweep; fig18 filtering
+latency; fig19 speedup+quality; fig20 energy; fig21 cache sensitivity;
+fig22 user study; sec5c quad divergence; sec5d PATU overhead — plus
+the extensions/ablations: ext_vr, ext_software, ext_compression,
+ablation_split_threshold, ablation_hash_entries, ablation_max_aniso.
+"""
+
+from . import (
+    ablation_hash_entries,
+    ablation_max_aniso,
+    ablation_split_threshold,
+    ext_compression,
+    ext_software,
+    ext_vr,
+    fig03_sharpness,
+    fig04_rbench,
+    fig05_af_off,
+    fig06_bandwidth,
+    fig07_quality,
+    fig08_ssim_map,
+    fig12_sharing,
+    fig15_lod_shift,
+    fig17_threshold,
+    fig18_latency,
+    fig19_speedup_quality,
+    fig20_energy,
+    fig21_cache,
+    fig22_user_study,
+    sec5c_divergence,
+    sec5d_overhead,
+    table1_config,
+    table2_benchmarks,
+)
+from .runner import ExperimentContext, ExperimentResult, get_default_context
+
+#: Experiment id -> module with ``run(ctx) -> ExperimentResult``.
+REGISTRY = {
+    "table1": table1_config,
+    "table2": table2_benchmarks,
+    "fig3": fig03_sharpness,
+    "fig4": fig04_rbench,
+    "fig5": fig05_af_off,
+    "fig6": fig06_bandwidth,
+    "fig7": fig07_quality,
+    "fig8": fig08_ssim_map,
+    "fig12": fig12_sharing,
+    "fig15": fig15_lod_shift,
+    "fig17": fig17_threshold,
+    "fig18": fig18_latency,
+    "fig19": fig19_speedup_quality,
+    "fig20": fig20_energy,
+    "fig21": fig21_cache,
+    "fig22": fig22_user_study,
+    "sec5c": sec5c_divergence,
+    "sec5d": sec5d_overhead,
+    "ext_vr": ext_vr,
+    "ext_compression": ext_compression,
+    "ext_software": ext_software,
+    "ablation_split_threshold": ablation_split_threshold,
+    "ablation_hash_entries": ablation_hash_entries,
+    "ablation_max_aniso": ablation_max_aniso,
+}
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "REGISTRY",
+    "get_default_context",
+]

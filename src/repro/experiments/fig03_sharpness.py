@@ -1,0 +1,62 @@
+"""Fig. 3: anisotropic filtering enhances texture sharpness.
+
+The paper's Fig. 3 is a visual pair (AF on/off) showing AF "effectively
+enhance[s] the sharpness of the textures on the surface that are at
+oblique viewing angles". We make it quantitative: on each game frame,
+the gradient energy of the AF image must exceed the trilinear-only
+image's, with the effect concentrated on the oblique pixels (N > 2)
+where AF actually takes extra samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quality.sharpness import sharpness_ratio
+from .runner import ExperimentContext, ExperimentResult, get_default_context
+
+TITLE = "AF sharpness gain over trilinear filtering (Fig. 3)"
+
+#: Anisotropy above which a pixel counts as 'oblique' for the mask.
+OBLIQUE_N = 2
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    ctx = ctx or get_default_context()
+    rows = []
+    for name in ctx.workload_list:
+        oblique_ratios = []
+        frame_ratios = []
+        for frame in range(ctx.frames):
+            cap = ctx.capture(name, frame)
+            af_image = cap.baseline_luminance
+            tf_image = cap.luminance_image(cap.tf_color)
+            oblique = np.zeros((cap.height, cap.width), dtype=bool)
+            oblique[cap.rows, cap.cols] = cap.n > OBLIQUE_N
+            if oblique.sum() > 16:
+                oblique_ratios.append(
+                    sharpness_ratio(af_image, tf_image, oblique)
+                )
+            frame_ratios.append(sharpness_ratio(af_image, tf_image))
+        rows.append(
+            {
+                "workload": name,
+                "sharpness_gain_oblique": float(np.mean(oblique_ratios)),
+                "sharpness_gain_frame": float(np.mean(frame_ratios)),
+            }
+        )
+    mean_oblique = float(np.mean([r["sharpness_gain_oblique"] for r in rows]))
+    mean_frame = float(np.mean([r["sharpness_gain_frame"] for r in rows]))
+    rows.append(
+        {
+            "workload": "average",
+            "sharpness_gain_oblique": mean_oblique,
+            "sharpness_gain_frame": mean_frame,
+        }
+    )
+    notes = (
+        f"AF sharpens the oblique surfaces by {mean_oblique - 1:.0%} in "
+        f"gradient energy ({mean_frame - 1:+.0%} over the whole frame) — "
+        "the Fig. 3 effect, quantified"
+    )
+    return ExperimentResult(experiment="fig3", title=TITLE, rows=rows, notes=notes)

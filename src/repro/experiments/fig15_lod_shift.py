@@ -1,0 +1,98 @@
+"""Fig. 15: the LOD-shift problem and PATU's LOD-reuse fix.
+
+Section V-C(2): naively substituting TF for AF samples texels from a
+*coarser* mip level (TF's LOD follows the footprint's major axis), so
+approximated surfaces visibly lose detail next to AF'd ones — the
+white-dashed-line artifact of Fig. 15. PATU reuses AF's finer LOD for
+approximated pixels instead.
+
+We quantify the figure on the approximated region itself: restricted to
+the pixels a PATU pass approximates at the default threshold, compare
+against the AF reference
+
+* the naive substitution's quality/sharpness (TF at TF's LOD — the
+  ``afssim_n_txds`` filtering), and
+* PATU's (TF at AF's LOD).
+
+LOD reuse must recover most of the regional quality loss and close the
+sharpness gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.patu import PerceptionAwareTextureUnit
+from ..core.scenarios import get_scenario
+from ..quality.sharpness import sharpness_ratio
+from ..quality.ssim import mssim as mssim_fn
+from .runner import ExperimentContext, ExperimentResult, get_default_context
+
+TITLE = "LOD shift and LOD-reuse recovery (Fig. 15)"
+
+DEFAULT_THRESHOLD = 0.4
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    ctx = ctx or get_default_context()
+    device = PerceptionAwareTextureUnit(get_scenario("patu"), DEFAULT_THRESHOLD)
+    rows = []
+    for name in ctx.workload_list:
+        quality_shift = []
+        quality_reuse = []
+        sharp_shift = []
+        sharp_reuse = []
+        for frame in range(ctx.frames):
+            cap = ctx.capture(name, frame)
+            decision = device.decide(cap.n, cap.txds)
+            approx = decision.prediction.approximated
+            if approx.sum() < 64:
+                continue
+            mask = np.zeros((cap.height, cap.width), dtype=bool)
+            mask[cap.rows[approx], cap.cols[approx]] = True
+
+            af_image = cap.baseline_luminance
+            # Naive substitution (LOD shift) vs LOD reuse, only on the
+            # approximated pixels; the rest of the frame stays AF.
+            shift_colors = cap.af_color.copy()
+            shift_colors[approx] = cap.tf_color[approx]
+            reuse_colors = cap.af_color.copy()
+            reuse_colors[approx] = cap.tfa_color[approx]
+            shift_image = cap.luminance_image(shift_colors)
+            reuse_image = cap.luminance_image(reuse_colors)
+
+            quality_shift.append(mssim_fn(af_image, shift_image))
+            quality_reuse.append(mssim_fn(af_image, reuse_image))
+            sharp_shift.append(sharpness_ratio(shift_image, af_image, mask))
+            sharp_reuse.append(sharpness_ratio(reuse_image, af_image, mask))
+        if not quality_shift:
+            continue
+        rows.append(
+            {
+                "workload": name,
+                "mssim_lod_shift": float(np.mean(quality_shift)),
+                "mssim_lod_reuse": float(np.mean(quality_reuse)),
+                "sharpness_vs_af_shift": float(np.mean(sharp_shift)),
+                "sharpness_vs_af_reuse": float(np.mean(sharp_reuse)),
+            }
+        )
+    avg = {
+        "workload": "average",
+        "mssim_lod_shift": float(np.mean([r["mssim_lod_shift"] for r in rows])),
+        "mssim_lod_reuse": float(np.mean([r["mssim_lod_reuse"] for r in rows])),
+        "sharpness_vs_af_shift": float(
+            np.mean([r["sharpness_vs_af_shift"] for r in rows])
+        ),
+        "sharpness_vs_af_reuse": float(
+            np.mean([r["sharpness_vs_af_reuse"] for r in rows])
+        ),
+    }
+    rows.append(avg)
+    notes = (
+        "the naive substitution loses detail on approximated surfaces "
+        f"(sharpness {avg['sharpness_vs_af_shift']:.2f}x of AF's); LOD reuse "
+        f"restores it to {avg['sharpness_vs_af_reuse']:.2f}x and lifts the "
+        "regional MSSIM — the paper's Fig. 15 fix, quantified "
+        "(paper: >10% quality improvement over AF-SSIM(N)+(Txds))"
+    )
+    return ExperimentResult(experiment="fig15", title=TITLE, rows=rows, notes=notes)

@@ -1,0 +1,52 @@
+"""Fig. 19: overall speedup and perceived quality under the four designs.
+
+Paper results at the default threshold (average BP = 0.4):
+
+* AF-SSIM(N)+(Txds) is fastest (18% average speedup, up to 26%) but
+  loses the most quality;
+* AF-SSIM(N) alone gains only ~10% with a similar quality loss (it
+  cannot capture texel-distribution similarity and suffers LOD shift);
+* PATU keeps nearly all of the combined design's speedup (within
+  ~1.3%) while recovering quality to >= 93% MSSIM via LOD reuse;
+* higher-resolution configurations gain more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runner import ExperimentContext, ExperimentResult, get_default_context
+
+TITLE = "Speedup and perceived quality of the designs (Fig. 19)"
+
+SCENARIO_ORDER = ("baseline", "afssim_n", "afssim_n_txds", "patu")
+DEFAULT_THRESHOLD = 0.4
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    ctx = ctx or get_default_context()
+    rows = []
+    acc = {s: {"speedup": [], "mssim": []} for s in SCENARIO_ORDER}
+    for name in ctx.workload_list:
+        base = ctx.mean_over_frames(name, "baseline", 1.0)
+        row = {"workload": name}
+        for scenario in SCENARIO_ORDER:
+            threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
+            point = ctx.mean_over_frames(name, scenario, threshold)
+            speedup = base["cycles"] / point["cycles"]
+            row[f"{scenario}_speedup"] = speedup
+            row[f"{scenario}_mssim"] = point["mssim"]
+            acc[scenario]["speedup"].append(speedup)
+            acc[scenario]["mssim"].append(point["mssim"])
+        rows.append(row)
+    avg = {"workload": "average"}
+    for scenario in SCENARIO_ORDER:
+        avg[f"{scenario}_speedup"] = float(np.mean(acc[scenario]["speedup"]))
+        avg[f"{scenario}_mssim"] = float(np.mean(acc[scenario]["mssim"]))
+    rows.append(avg)
+    notes = (
+        f"PATU: {avg['patu_speedup'] - 1:.0%} average speedup at "
+        f"{avg['patu_mssim']:.0%} MSSIM "
+        "(paper: 17% speedup at 93% MSSIM; N+Txds fastest but lowest quality)"
+    )
+    return ExperimentResult(experiment="fig19", title=TITLE, rows=rows, notes=notes)

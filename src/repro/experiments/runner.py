@@ -1,0 +1,193 @@
+"""Shared experiment infrastructure: context, caching, aggregation.
+
+An :class:`ExperimentContext` owns one :class:`RenderSession` and
+memoizes frame captures and design-point evaluations, so experiments
+that share workloads (most of them) render each frame exactly once per
+process. Cache-scaling experiments (Fig. 21) evaluate the *same*
+captures under derived GPU configurations — captures carry texel
+addresses, not cache state, so they are configuration-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import BASELINE_CONFIG, GpuConfig
+from ..core.scenarios import get_scenario
+from ..errors import ExperimentError
+from ..renderer.session import FrameCapture, FrameResult, RenderSession
+from ..workloads.games import get_workload, workload_names
+from ..workloads.rbench import rbench_workload
+from ..workloads.scene import Workload
+
+#: Workload list used by the per-game experiments, in Table II order.
+DEFAULT_WORKLOADS = (
+    "HL2-1600x1200",
+    "HL2-1280x1024",
+    "HL2-640x480",
+    "doom3-1600x1200",
+    "doom3-1280x1024",
+    "doom3-640x480",
+    "grid-1280x1024",
+    "nfs-1280x1024",
+    "stal-1280x1024",
+    "Ut3-1280x1024",
+    "wolf-640x480",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced artifact plus free-form notes."""
+
+    experiment: str
+    title: str
+    rows: "list[dict]"
+    notes: str = ""
+
+    def column(self, key: str) -> "list":
+        return [row[key] for row in self.rows]
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    if not result.rows:
+        return f"== {result.experiment}: {result.title} ==\n(no rows)\n"
+    keys = list(result.rows[0].keys())
+    cells = [[_fmt(row.get(k)) for k in keys] for row in result.rows]
+    widths = [
+        max(len(k), *(len(row[i]) for row in cells)) for i, k in enumerate(keys)
+    ]
+    lines = [f"== {result.experiment}: {result.title} =="]
+    lines.append("  ".join(k.ljust(w) for k, w in zip(keys, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if result.notes:
+        lines.append(result.notes)
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class ExperimentContext:
+    """A render session plus caches shared across experiments."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = 0.25,
+        frames: int = 2,
+        workloads: "tuple[str, ...]" = DEFAULT_WORKLOADS,
+        config: GpuConfig = BASELINE_CONFIG,
+    ) -> None:
+        if frames < 1:
+            raise ExperimentError("need at least one frame per workload")
+        self.scale = scale
+        self.frames = frames
+        self.workload_list = workloads
+        self.base_config = config
+        self.session = RenderSession(config, scale=scale)
+        self._captures: "dict[tuple[str, int], FrameCapture]" = {}
+        self._results: "dict" = {}
+        self._alt_sessions: "dict[tuple[int, int], RenderSession]" = {}
+
+    # -- capture / evaluate with memoization ---------------------------
+
+    def workload(self, name: str) -> Workload:
+        if name.startswith("R.Bench"):
+            return rbench_workload(name.split("-", 1)[1])
+        return get_workload(name)
+
+    def capture(self, workload_name: str, frame: int) -> FrameCapture:
+        key = (workload_name, frame)
+        if key not in self._captures:
+            self._captures[key] = self.session.capture_frame(
+                self.workload(workload_name), frame
+            )
+        return self._captures[key]
+
+    def result(
+        self,
+        workload_name: str,
+        frame: int,
+        scenario: str,
+        threshold: float,
+        *,
+        llc_scale: int = 1,
+        tc_scale: int = 1,
+    ) -> FrameResult:
+        """Evaluate (and cache) one design point on one frame."""
+        key = (workload_name, frame, scenario, round(threshold, 6), llc_scale, tc_scale)
+        if key not in self._results:
+            session = self._session_for(llc_scale, tc_scale)
+            self._results[key] = session.evaluate(
+                self.capture(workload_name, frame),
+                get_scenario(scenario),
+                threshold,
+            )
+        return self._results[key]
+
+    def _session_for(self, llc_scale: int, tc_scale: int) -> RenderSession:
+        if llc_scale == 1 and tc_scale == 1:
+            return self.session
+        key = (llc_scale, tc_scale)
+        if key not in self._alt_sessions:
+            config = self.base_config.scaled(
+                texture_l1=tc_scale, texture_l2=llc_scale
+            )
+            self._alt_sessions[key] = RenderSession(config, scale=self.scale)
+        return self._alt_sessions[key]
+
+    # -- aggregation ----------------------------------------------------
+
+    def mean_over_frames(
+        self,
+        workload_name: str,
+        scenario: str,
+        threshold: float,
+        *,
+        llc_scale: int = 1,
+        tc_scale: int = 1,
+    ) -> "dict[str, float]":
+        """Frame-averaged metrics for one (workload, design point)."""
+        acc: "dict[str, float]" = {}
+        for frame in range(self.frames):
+            r = self.result(
+                workload_name, frame, scenario, threshold,
+                llc_scale=llc_scale, tc_scale=tc_scale,
+            )
+            metrics = {
+                "cycles": r.frame_cycles,
+                "mssim": r.mssim,
+                "energy_nj": r.total_energy_nj,
+                "request_latency": r.request_latency,
+                "approximation_rate": r.approximation_rate,
+                "quad_divergence": r.quad_divergence,
+                "dram_bytes": float(r.hierarchy.dram_bytes),
+                "texture_bytes": float(r.bandwidth.texture_bytes),
+                "color_bytes": float(r.bandwidth.color_bytes),
+                "depth_bytes": float(r.bandwidth.depth_bytes),
+                "geometry_bytes": float(r.bandwidth.geometry_bytes),
+                "total_bytes": float(r.bandwidth.total_bytes),
+                "fps": r.fps,
+                "trilinear": float(r.events.trilinear_samples),
+            }
+            for k, v in metrics.items():
+                acc[k] = acc.get(k, 0.0) + v / self.frames
+        return acc
+
+
+_DEFAULT_CONTEXT: "ExperimentContext | None" = None
+
+
+def get_default_context() -> ExperimentContext:
+    """The process-wide shared context used by benches and examples."""
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = ExperimentContext()
+    return _DEFAULT_CONTEXT

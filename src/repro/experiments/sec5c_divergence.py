@@ -1,0 +1,35 @@
+"""Section V-C(1): prediction divergence within pixel quads.
+
+Paper result: across all games only ~1% of quads (up to 1.6%) contain
+pixels whose PATU approximation decisions disagree — pixels in a quad
+are spatial neighbours and usually share sample size and LOD, so no
+special divergence hardware is warranted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .runner import ExperimentContext, ExperimentResult, get_default_context
+
+TITLE = "PATU prediction divergence within quads (Sec. V-C)"
+
+DEFAULT_THRESHOLD = 0.4
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    ctx = ctx or get_default_context()
+    rows = []
+    for name in ctx.workload_list:
+        point = ctx.mean_over_frames(name, "patu", DEFAULT_THRESHOLD)
+        rows.append(
+            {"workload": name, "quad_divergence": point["quad_divergence"]}
+        )
+    mean = float(np.mean([r["quad_divergence"] for r in rows]))
+    peak = float(np.max([r["quad_divergence"] for r in rows]))
+    rows.append({"workload": "average", "quad_divergence": mean})
+    notes = (
+        f"average divergence {mean:.1%}, max {peak:.1%} "
+        "(paper: ~1% average, up to 1.6%)"
+    )
+    return ExperimentResult(experiment="sec5c", title=TITLE, rows=rows, notes=notes)

@@ -1,0 +1,16 @@
+"""Table I: baseline simulator configuration."""
+
+from __future__ import annotations
+
+from ..config import BASELINE_CONFIG
+from .runner import ExperimentContext, ExperimentResult
+
+TITLE = "Baseline simulator configuration (Table I)"
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    rows = [
+        {"parameter": label, "value": value}
+        for label, value in BASELINE_CONFIG.table1_rows()
+    ]
+    return ExperimentResult(experiment="table1", title=TITLE, rows=rows)

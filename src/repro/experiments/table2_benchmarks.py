@@ -1,0 +1,27 @@
+"""Table II: the 3D gaming benchmark list."""
+
+from __future__ import annotations
+
+from ..workloads.games import TABLE2_ROWS, get_workload
+from .runner import ExperimentContext, ExperimentResult
+
+TITLE = "3D gaming benchmarks (Table II)"
+
+
+def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
+    rows = []
+    for abbr, title, resolutions, library in TABLE2_ROWS:
+        for width, height in resolutions:
+            wl = get_workload(f"{abbr}-{width}x{height}")
+            rows.append(
+                {
+                    "abbr": abbr,
+                    "name": title,
+                    "resolution": f"{width}x{height}",
+                    "library": library,
+                    "triangles": wl.scene.total_triangles,
+                    "textures": len(wl.scene.textures),
+                    "frames": wl.num_frames,
+                }
+            )
+    return ExperimentResult(experiment="table2", title=TITLE, rows=rows)

@@ -1,0 +1,41 @@
+"""Perspective camera producing view-projection matrices."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linalg import look_at, perspective
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera.
+
+    Attributes:
+        eye: world-space camera position.
+        target: world-space point the camera looks at.
+        up: approximate up direction.
+        fov_y_deg: full vertical field of view in degrees.
+        near, far: clip distances.
+    """
+
+    eye: "tuple[float, float, float]"
+    target: "tuple[float, float, float]"
+    up: "tuple[float, float, float]" = (0.0, 1.0, 0.0)
+    fov_y_deg: float = 60.0
+    near: float = 0.1
+    far: float = 2000.0
+
+    def view_matrix(self) -> np.ndarray:
+        return look_at(self.eye, self.target, self.up)
+
+    def projection_matrix(self, aspect: float) -> np.ndarray:
+        return perspective(math.radians(self.fov_y_deg), aspect, self.near, self.far)
+
+    def view_projection(self, width: int, height: int) -> np.ndarray:
+        """Combined projection @ view matrix for a ``width x height`` viewport."""
+        aspect = width / height
+        return self.projection_matrix(aspect) @ self.view_matrix()

@@ -1,0 +1,88 @@
+"""Near-plane clipping of clip-space triangles.
+
+The pipeline only clips against the near plane (``z + w > 0`` in OpenGL
+clip-space convention); triangles outside the side planes are handled by
+scissoring in the rasterizer, which is what tile-based hardware does in
+practice. Clipping one triangle against a plane yields zero, one or two
+triangles (Sutherland-Hodgman on three vertices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transform import TransformedTriangles
+
+#: Distance-to-plane epsilon to keep interpolation well-conditioned.
+_EPS = 1e-9
+#: Intersection vertices are pulled this far inside the near plane so
+#: rounding can never place them at (or behind) w = 0.
+_INSIDE_MARGIN = 1e-7
+
+
+def _clip_single(
+    positions: np.ndarray, uvs: np.ndarray
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Clip one triangle against the near plane; return surviving triangles."""
+    dist = positions[:, 2] + positions[:, 3]  # signed distance to near plane
+    inside = dist > _EPS
+    n_inside = int(inside.sum())
+    if n_inside == 3:
+        return [(positions, uvs)]
+    if n_inside == 0:
+        return []
+
+    # Walk the polygon edges, emitting inside vertices and edge intersections.
+    out_pos: "list[np.ndarray]" = []
+    out_uv: "list[np.ndarray]" = []
+    for i in range(3):
+        j = (i + 1) % 3
+        if inside[i]:
+            out_pos.append(positions[i])
+            out_uv.append(uvs[i])
+        if inside[i] != inside[j]:
+            t = (dist[i] - _INSIDE_MARGIN) / (dist[i] - dist[j])
+            t = min(max(t, 0.0), 1.0)
+            out_pos.append(positions[i] + t * (positions[j] - positions[i]))
+            out_uv.append(uvs[i] + t * (uvs[j] - uvs[i]))
+
+    tris: "list[tuple[np.ndarray, np.ndarray]]" = []
+    for k in range(1, len(out_pos) - 1):
+        tris.append(
+            (
+                np.stack([out_pos[0], out_pos[k], out_pos[k + 1]]),
+                np.stack([out_uv[0], out_uv[k], out_uv[k + 1]]),
+            )
+        )
+    return tris
+
+
+def clip_triangles_near(tris: TransformedTriangles) -> TransformedTriangles:
+    """Clip all triangles against the near plane.
+
+    Fully-inside triangles pass through untouched (the common fast path);
+    straddling triangles are re-tessellated into one or two triangles.
+    """
+    if tris.num_triangles == 0:
+        return tris
+    dist = tris.clip_positions[:, :, 2] + tris.clip_positions[:, :, 3]
+    inside = dist > _EPS
+    n_inside = inside.sum(axis=1)
+
+    all_in = n_inside == 3
+    needs_clip = (n_inside > 0) & ~all_in
+    if not needs_clip.any():
+        return tris.select(all_in)
+
+    kept_pos = [tris.clip_positions[all_in]]
+    kept_uv = [tris.uvs[all_in]]
+    for idx in np.nonzero(needs_clip)[0]:
+        for pos, uv in _clip_single(tris.clip_positions[idx], tris.uvs[idx]):
+            kept_pos.append(pos[None, :, :])
+            kept_uv.append(uv[None, :, :])
+    return TransformedTriangles(
+        clip_positions=np.concatenate(kept_pos, axis=0),
+        uvs=np.concatenate(kept_uv, axis=0),
+        texture=tris.texture,
+        two_sided=tris.two_sided,
+    )

@@ -1,0 +1,39 @@
+"""Back-face culling of clip-space triangles.
+
+Performed after near-plane clipping so every vertex has ``w > 0`` and
+the NDC winding is well-defined. Counter-clockwise triangles (positive
+signed area in NDC, Y up) face the camera and are kept; two-sided draw
+calls skip culling entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transform import TransformedTriangles
+
+
+def signed_ndc_areas(tris: TransformedTriangles) -> np.ndarray:
+    """Signed NDC-space area of each triangle (positive = front-facing)."""
+    pos = tris.clip_positions
+    w = pos[:, :, 3:4]
+    ndc = pos[:, :, :2] / w
+    e1 = ndc[:, 1] - ndc[:, 0]
+    e2 = ndc[:, 2] - ndc[:, 0]
+    return 0.5 * (e1[:, 0] * e2[:, 1] - e1[:, 1] * e2[:, 0])
+
+
+def cull_backfaces(tris: TransformedTriangles) -> TransformedTriangles:
+    """Remove back-facing and zero-area triangles.
+
+    Degenerate (zero-area) triangles are removed even for two-sided
+    draw calls since they can never produce fragments.
+    """
+    if tris.num_triangles == 0:
+        return tris
+    area = signed_ndc_areas(tris)
+    if tris.two_sided:
+        keep = np.abs(area) > 1e-14
+    else:
+        keep = area > 1e-14
+    return tris.select(keep)

@@ -1,0 +1,189 @@
+"""Triangle meshes and vertex buffers.
+
+A :class:`Mesh` is the unit fed to a draw call: an indexed triangle list
+with per-vertex positions and texture coordinates. The paper's games are
+replayed as sequences of draw calls over such meshes (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class VertexBuffer:
+    """Per-vertex attributes: positions ``(n, 3)`` and UVs ``(n, 2)``."""
+
+    positions: np.ndarray
+    uvs: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=np.float64)
+        uv = np.asarray(self.uvs, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise GeometryError(f"positions must be (n, 3), got {pos.shape}")
+        if uv.ndim != 2 or uv.shape[1] != 2:
+            raise GeometryError(f"uvs must be (n, 2), got {uv.shape}")
+        if pos.shape[0] != uv.shape[0]:
+            raise GeometryError(
+                f"positions ({pos.shape[0]}) and uvs ({uv.shape[0]}) disagree"
+            )
+        object.__setattr__(self, "positions", pos)
+        object.__setattr__(self, "uvs", uv)
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """An indexed triangle mesh bound to a named texture.
+
+    Attributes:
+        vertices: the vertex buffer.
+        indices: ``(m, 3)`` int array of triangle vertex indices.
+        texture: name of the texture the fragment shader samples.
+        two_sided: disable back-face culling for this mesh (used for
+            ground/water planes seen from both sides in the game scenes).
+        uv_scale: texture-coordinate tiling factor applied at draw time.
+    """
+
+    vertices: VertexBuffer
+    indices: np.ndarray
+    texture: str
+    two_sided: bool = False
+    uv_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != 3:
+            raise GeometryError(f"indices must be (m, 3), got {idx.shape}")
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self.vertices)):
+            raise GeometryError("triangle index out of vertex-buffer range")
+        if not self.texture:
+            raise GeometryError("mesh must name a texture")
+        if self.uv_scale <= 0:
+            raise GeometryError(f"uv_scale must be positive, got {self.uv_scale}")
+        object.__setattr__(self, "indices", idx)
+
+    @property
+    def num_triangles(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def triangle_positions(self) -> np.ndarray:
+        """Gather triangle corner positions as ``(m, 3, 3)``."""
+        return self.vertices.positions[self.indices]
+
+    def triangle_uvs(self) -> np.ndarray:
+        """Gather triangle corner UVs as ``(m, 3, 2)`` with tiling applied."""
+        return self.vertices.uvs[self.indices] * self.uv_scale
+
+
+def make_quad(
+    corners: np.ndarray,
+    texture: str,
+    *,
+    uv_scale: float = 1.0,
+    two_sided: bool = False,
+    subdivisions: int = 1,
+) -> Mesh:
+    """Build a (possibly subdivided) quad mesh from four corner points.
+
+    ``corners`` is a ``(4, 3)`` array ordered counter-clockwise
+    (bottom-left, bottom-right, top-right, top-left). Subdivision keeps
+    perspective interpolation well-conditioned for very large surfaces
+    such as ground planes.
+    """
+    corners = np.asarray(corners, dtype=np.float64)
+    if corners.shape != (4, 3):
+        raise GeometryError(f"corners must be (4, 3), got {corners.shape}")
+    if subdivisions < 1:
+        raise GeometryError(f"subdivisions must be >= 1, got {subdivisions}")
+    n = subdivisions
+    s = np.linspace(0.0, 1.0, n + 1)
+    t = np.linspace(0.0, 1.0, n + 1)
+    ss, tt = np.meshgrid(s, t, indexing="xy")
+    bl, br, tr, tl = corners
+    # Bilinear patch over the four corners.
+    grid = (
+        (1 - ss)[..., None] * (1 - tt)[..., None] * bl
+        + ss[..., None] * (1 - tt)[..., None] * br
+        + ss[..., None] * tt[..., None] * tr
+        + (1 - ss)[..., None] * tt[..., None] * tl
+    )
+    positions = grid.reshape(-1, 3)
+    uvs = np.stack([ss.ravel(), tt.ravel()], axis=1)
+    indices = []
+    for j in range(n):
+        for i in range(n):
+            v00 = j * (n + 1) + i
+            v10 = v00 + 1
+            v01 = v00 + (n + 1)
+            v11 = v01 + 1
+            indices.append((v00, v10, v11))
+            indices.append((v00, v11, v01))
+    return Mesh(
+        vertices=VertexBuffer(positions=positions, uvs=uvs),
+        indices=np.asarray(indices, dtype=np.int64),
+        texture=texture,
+        two_sided=two_sided,
+        uv_scale=uv_scale,
+    )
+
+
+def make_box(
+    center,
+    size,
+    texture: str,
+    *,
+    uv_scale: float = 1.0,
+) -> Mesh:
+    """Build an axis-aligned box with outward-facing quads on all six sides."""
+    cx, cy, cz = (float(v) for v in center)
+    sx, sy, sz = (float(v) / 2.0 for v in size)
+    if min(sx, sy, sz) <= 0:
+        raise GeometryError(f"box size must be positive, got {size}")
+    x0, x1 = cx - sx, cx + sx
+    y0, y1 = cy - sy, cy + sy
+    z0, z1 = cz - sz, cz + sz
+    faces = [
+        # +Z (front)
+        [(x0, y0, z1), (x1, y0, z1), (x1, y1, z1), (x0, y1, z1)],
+        # -Z (back)
+        [(x1, y0, z0), (x0, y0, z0), (x0, y1, z0), (x1, y1, z0)],
+        # +X (right)
+        [(x1, y0, z1), (x1, y0, z0), (x1, y1, z0), (x1, y1, z1)],
+        # -X (left)
+        [(x0, y0, z0), (x0, y0, z1), (x0, y1, z1), (x0, y1, z0)],
+        # +Y (top)
+        [(x0, y1, z1), (x1, y1, z1), (x1, y1, z0), (x0, y1, z0)],
+        # -Y (bottom)
+        [(x0, y0, z0), (x1, y0, z0), (x1, y0, z1), (x0, y0, z1)],
+    ]
+    positions = []
+    uvs = []
+    indices = []
+    face_uv = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+    for face in faces:
+        base = len(positions)
+        positions.extend(face)
+        uvs.extend(face_uv)
+        indices.append((base, base + 1, base + 2))
+        indices.append((base, base + 2, base + 3))
+    return Mesh(
+        vertices=VertexBuffer(
+            positions=np.asarray(positions, dtype=np.float64),
+            uvs=np.asarray(uvs, dtype=np.float64),
+        ),
+        indices=np.asarray(indices, dtype=np.int64),
+        texture=texture,
+        uv_scale=uv_scale,
+    )

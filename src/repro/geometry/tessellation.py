@@ -1,0 +1,105 @@
+"""Tessellation: midpoint subdivision of triangle meshes.
+
+The paper's simulator integration includes tessellation among "the
+newest advancements in rendering" (Section VI); Figure 2 places it with
+the geometry-related kernels that "generate extra triangles". We
+implement the standard 1-to-4 midpoint scheme (each edge split at its
+midpoint, positions and UVs interpolated linearly), with an optional
+displacement function for the curved-surface use tessellation exists
+for.
+
+Vertices are deduplicated across shared edges so a closed mesh stays
+closed after subdivision.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import GeometryError
+from .mesh import Mesh, VertexBuffer
+
+#: Displacement: positions (n, 3), uvs (n, 2) -> offsets (n, 3).
+DisplacementFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _subdivide_once(positions: np.ndarray, uvs: np.ndarray, indices: np.ndarray):
+    """One 1:4 midpoint subdivision with shared-edge deduplication."""
+    edge_cache: "dict[tuple[int, int], int]" = {}
+    new_positions = [positions]
+    new_uvs = [uvs]
+    next_index = positions.shape[0]
+    extra_pos: "list[np.ndarray]" = []
+    extra_uv: "list[np.ndarray]" = []
+
+    def midpoint(a: int, b: int) -> int:
+        nonlocal next_index
+        key = (a, b) if a < b else (b, a)
+        cached = edge_cache.get(key)
+        if cached is not None:
+            return cached
+        extra_pos.append((positions[a] + positions[b]) / 2.0)
+        extra_uv.append((uvs[a] + uvs[b]) / 2.0)
+        edge_cache[key] = next_index
+        next_index += 1
+        return edge_cache[key]
+
+    out_tris = []
+    for i0, i1, i2 in indices:
+        m01 = midpoint(i0, i1)
+        m12 = midpoint(i1, i2)
+        m20 = midpoint(i2, i0)
+        out_tris.extend(
+            [(i0, m01, m20), (i1, m12, m01), (i2, m20, m12), (m01, m12, m20)]
+        )
+
+    if extra_pos:
+        new_positions.append(np.stack(extra_pos))
+        new_uvs.append(np.stack(extra_uv))
+    return (
+        np.concatenate(new_positions, axis=0),
+        np.concatenate(new_uvs, axis=0),
+        np.asarray(out_tris, dtype=np.int64),
+    )
+
+
+def tessellate(
+    mesh: Mesh,
+    levels: int = 1,
+    *,
+    displacement: "DisplacementFn | None" = None,
+) -> Mesh:
+    """Subdivide every triangle ``4**levels`` times, then displace.
+
+    Args:
+        mesh: the input mesh (unchanged).
+        levels: subdivision rounds; each round turns 1 triangle into 4.
+        displacement: optional function producing per-vertex position
+            offsets from (positions, uvs) — applied once, after the
+            final subdivision, as displacement-mapping hardware does.
+    """
+    if levels < 0:
+        raise GeometryError(f"levels must be >= 0, got {levels}")
+    positions = mesh.vertices.positions
+    uvs = mesh.vertices.uvs
+    indices = mesh.indices
+    for _ in range(levels):
+        positions, uvs, indices = _subdivide_once(positions, uvs, indices)
+
+    if displacement is not None:
+        offsets = np.asarray(displacement(positions, uvs), dtype=np.float64)
+        if offsets.shape != positions.shape:
+            raise GeometryError(
+                f"displacement must return {positions.shape}, got {offsets.shape}"
+            )
+        positions = positions + offsets
+
+    return Mesh(
+        vertices=VertexBuffer(positions=positions, uvs=uvs),
+        indices=indices,
+        texture=mesh.texture,
+        two_sided=mesh.two_sided,
+        uv_scale=mesh.uv_scale,
+    )

@@ -1,0 +1,109 @@
+"""Set-associative LRU cache simulator.
+
+Operates on arrays of 64-byte cache-line addresses. Consecutive
+duplicate addresses are collapsed vectorized before the sequential LRU
+walk — a duplicate of the immediately preceding access is always a hit
+in an LRU cache, so the collapse is exact, and it removes the bulk of
+the stream (bilinear footprints of neighbouring pixels overlap
+heavily).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import CacheConfig
+from ..errors import ConfigError
+
+#: Line size shared by the whole hierarchy (matches texture addressing).
+CACHE_LINE_BYTES_DEFAULT = 64
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+
+
+def collapse_consecutive(lines: np.ndarray) -> "tuple[np.ndarray, int]":
+    """Drop consecutive duplicate addresses.
+
+    Returns the collapsed stream and the number of dropped accesses
+    (each an assured LRU hit).
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    if lines.size == 0:
+        return lines, 0
+    keep = np.empty(lines.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    dropped = int(lines.size - keep.sum())
+    return lines[keep], dropped
+
+
+class CacheSim:
+    """One set-associative LRU cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ConfigError(f"number of sets must be a power of two, got {num_sets}")
+        self.config = config
+        self._set_mask = num_sets - 1
+        self._ways = config.ways
+        # One LRU-ordered list of line addresses per set (MRU first).
+        self._sets: "list[list[int]]" = [[] for _ in range(num_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the statistics."""
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()
+
+    def access(self, lines: np.ndarray) -> np.ndarray:
+        """Process a line-address stream; return the miss addresses in order.
+
+        The input should be the raw access stream; consecutive
+        duplicates are collapsed internally (and counted as hits).
+        """
+        collapsed, dropped = collapse_consecutive(lines)
+        self.stats.accesses += int(np.asarray(lines).size)
+        self.stats.hits += dropped
+        if collapsed.size == 0:
+            return collapsed
+
+        misses: "list[int]" = []
+        sets = self._sets
+        mask = self._set_mask
+        ways = self._ways
+        hits = 0
+        for addr in collapsed.tolist():
+            ways_list = sets[addr & mask]
+            try:
+                ways_list.remove(addr)
+            except ValueError:
+                misses.append(addr)
+                if len(ways_list) >= ways:
+                    ways_list.pop()
+            else:
+                hits += 1
+            ways_list.insert(0, addr)
+        self.stats.hits += hits
+        return np.asarray(misses, dtype=np.int64)

@@ -1,0 +1,77 @@
+"""Off-chip DRAM bandwidth/latency model.
+
+The experiments need two things from DRAM: how many *cycles* a frame's
+miss traffic occupies the memory interface (the bandwidth-bound term of
+the timing model) and the *average access latency* seen by the texture
+units (the latency-bound term). Both derive from Table I's
+configuration: 16 bytes/cycle peak, 8 channels x 8 banks.
+
+Row-buffer behaviour is approximated statistically: texture tiles give
+miss streams high spatial locality, so a run of misses that stays
+within one 2 KB row hits the open row; the model estimates the row-hit
+fraction from address deltas, which responds correctly when PATU's
+LOD-reuse shifts fetches to finer (larger, more spread-out) mip levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MemoryConfig
+from .cache import CACHE_LINE_BYTES_DEFAULT
+
+#: DRAM row size assumed by the row-hit estimator.
+ROW_BYTES = 2048
+
+
+@dataclass
+class DramStats:
+    """Aggregate DRAM behaviour for one frame."""
+
+    lines_fetched: int = 0
+    row_hits: int = 0
+
+    @property
+    def bytes_fetched(self) -> int:
+        return self.lines_fetched * CACHE_LINE_BYTES_DEFAULT
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.lines_fetched == 0:
+            return 0.0
+        return self.row_hits / self.lines_fetched
+
+
+class DramModel:
+    """Bandwidth and latency estimates for a miss stream."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+
+    def observe(self, miss_lines: np.ndarray) -> DramStats:
+        """Classify a line-address miss stream into row hits/misses."""
+        miss_lines = np.asarray(miss_lines, dtype=np.int64)
+        stats = DramStats(lines_fetched=int(miss_lines.size))
+        if miss_lines.size > 1:
+            rows = (miss_lines * CACHE_LINE_BYTES_DEFAULT) // ROW_BYTES
+            # Interleave across channels: consecutive rows on one channel
+            # are ``channels`` apart in the global stream; approximate by
+            # same-row runs in stream order.
+            stats.row_hits = int(np.count_nonzero(rows[1:] == rows[:-1]))
+        return stats
+
+    def transfer_cycles(self, stats: DramStats) -> float:
+        """Cycles the memory interface is busy moving the miss traffic."""
+        return stats.bytes_fetched / self.config.bytes_per_cycle
+
+    def average_latency(self, stats: DramStats) -> float:
+        """Average per-access DRAM latency in cycles."""
+        if stats.lines_fetched == 0:
+            return float(self.config.base_latency_cycles)
+        miss_fraction = 1.0 - stats.row_hit_rate
+        return (
+            self.config.base_latency_cycles
+            + miss_fraction * self.config.row_miss_penalty_cycles
+        )

@@ -1,0 +1,88 @@
+"""The two-level texture memory hierarchy.
+
+Each of the GPU's texture units owns a private L1 texture cache; all
+units share the texture L2 (the GPU LLC for texture traffic, Table I).
+Tiles are distributed round-robin over the texture units — the same
+static schedule the tiling engine uses — so each unit's L1 sees its own
+tiles' fetch stream, and the L2 sees the interleaved union of the L1
+miss streams in tile order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..errors import PipelineError
+from .cache import CacheSim, CacheStats
+from .dram import DramModel, DramStats
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated statistics for one frame's texture traffic."""
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    dram: DramStats = field(default_factory=DramStats)
+
+    @property
+    def texel_reads(self) -> int:
+        return self.l1.accesses
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram.bytes_fetched
+
+
+class TextureMemoryHierarchy:
+    """Simulates the L1s, the shared L2 and DRAM for one frame."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        self.config = config
+        self._l1s = [CacheSim(config.texture_l1) for _ in range(config.num_texture_units)]
+        self._l2 = CacheSim(config.texture_l2)
+        self._dram = DramModel(config.memory)
+
+    def reset(self) -> None:
+        for c in self._l1s:
+            c.reset()
+        self._l2.reset()
+
+    def process_frame(
+        self, tile_streams: "list[tuple[int, np.ndarray]]"
+    ) -> HierarchyStats:
+        """Run one frame of texture fetches through the hierarchy.
+
+        Args:
+            tile_streams: list of ``(unit_index, line_addresses)`` in tile
+                scheduling order. Each entry is one tile's fetch stream,
+                already in intra-tile raster order.
+        """
+        self.reset()
+        stats = HierarchyStats()
+        l2_miss_segments: "list[np.ndarray]" = []
+        for unit, lines in tile_streams:
+            if not 0 <= unit < len(self._l1s):
+                raise PipelineError(f"texture unit index {unit} out of range")
+            l1_misses = self._l1s[unit].access(lines)
+            if l1_misses.size:
+                l2_miss_segments.append(self._l2.access(l1_misses))
+
+        for l1 in self._l1s:
+            stats.l1.merge(l1.stats)
+        stats.l2.merge(self._l2.stats)
+        if l2_miss_segments:
+            all_misses = np.concatenate(l2_miss_segments)
+        else:
+            all_misses = np.empty(0, dtype=np.int64)
+        stats.dram = self._dram.observe(all_misses)
+        return stats
+
+    def dram_transfer_cycles(self, stats: HierarchyStats) -> float:
+        return self._dram.transfer_cycles(stats.dram)
+
+    def dram_average_latency(self, stats: HierarchyStats) -> float:
+        return self._dram.average_latency(stats.dram)

@@ -1,0 +1,85 @@
+"""PATU area/latency overhead model (Section V-D).
+
+The paper models PATU under 28 nm with McPAT/CACTI and reports:
+
+* four 16-entry lookup tables per texture unit (one per filtering
+  pipeline), 260 bits per entry -> ~2 KB of SRAM per texture unit;
+* ~0.15 mm^2 per unified-shader cluster, ~0.2% of a 66 mm^2 GPU;
+* sub-cycle hash-table access latency; negligible compute-logic area.
+
+We reproduce the arithmetic with a per-bit area constant for a tiny
+fully-associative CAM array at 28 nm (match lines and per-entry
+comparators dominate, which is why the density is far worse than a
+large 6T SRAM macro) plus a fixed logic allowance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GpuConfig
+from ..core.hash_table import BITS_PER_ENTRY, HASH_TABLE_ENTRIES
+from ..errors import ReproError
+
+#: mm^2 per bit for a small fully-associative CAM array at 28 nm.
+CAM_MM2_PER_BIT = 8.0e-6
+#: Compute logic (entropy + compares + control) per cluster, mm^2.
+LOGIC_MM2_PER_CLUSTER = 0.012
+#: Die area of the reference GPU (Section V-D).
+REFERENCE_GPU_MM2 = 66.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """PATU area accounting for one GPU configuration."""
+
+    num_clusters: int
+    tables_per_unit: int
+    bits_per_table: int
+    sram_bytes_per_unit: int
+    sram_mm2_per_cluster: float
+    logic_mm2_per_cluster: float
+    gpu_mm2: float
+
+    @property
+    def mm2_per_cluster(self) -> float:
+        return self.sram_mm2_per_cluster + self.logic_mm2_per_cluster
+
+    @property
+    def total_mm2(self) -> float:
+        return self.mm2_per_cluster * self.num_clusters
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.total_mm2 / self.gpu_mm2
+
+    @property
+    def storage_kb_per_unit(self) -> float:
+        return self.sram_bytes_per_unit / 1024.0
+
+
+class PatuAreaModel:
+    """Computes the Section V-D overhead numbers for a GPU config."""
+
+    def __init__(self, config: GpuConfig, *, entries: int = HASH_TABLE_ENTRIES):
+        if entries < 1:
+            raise ReproError(f"hash table entries must be >= 1, got {entries}")
+        self.config = config
+        self.entries = entries
+
+    def report(self) -> AreaReport:
+        cfg = self.config
+        tables_per_unit = cfg.texture_unit.quad_size  # one per pipeline
+        bits_per_table = self.entries * BITS_PER_ENTRY
+        total_bits_per_unit = tables_per_unit * bits_per_table
+        return AreaReport(
+            num_clusters=cfg.num_clusters,
+            tables_per_unit=tables_per_unit,
+            bits_per_table=bits_per_table,
+            sram_bytes_per_unit=total_bits_per_unit // 8,
+            sram_mm2_per_cluster=(
+                total_bits_per_unit * cfg.texture_units_per_cluster * CAM_MM2_PER_BIT
+            ),
+            logic_mm2_per_cluster=LOGIC_MM2_PER_CLUSTER,
+            gpu_mm2=REFERENCE_GPU_MM2,
+        )

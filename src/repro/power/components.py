@@ -1,0 +1,44 @@
+"""Per-event energy constants (28 nm-class, McPAT-flavoured).
+
+Absolute joules are not the point — the paper reports energy normalized
+to the baseline — but the *ratios between event classes* are chosen to
+match the published modelling literature the paper builds on (McPAT
+[33], CACTI [34], the Micron DDR3 note [37]): a DRAM line transfer
+costs ~2 orders of magnitude more than an L1 hit; SRAM access energy
+scales roughly with capacity; a trilinear filter step is a small fixed
+bundle of FP MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy per event, in nanojoules, plus background power."""
+
+    #: One 64-byte DRAM line transfer (activate share + IO + termination).
+    dram_line_nj: float = 3.0
+    #: One L2 (texture LLC) access.
+    l2_access_nj: float = 0.45
+    #: One L1 texture-cache access.
+    l1_access_nj: float = 0.06
+    #: One trilinear sample filtered (8 texel reads' datapath + FP MACs).
+    trilinear_filter_nj: float = 0.10
+    #: Address calculation for one trilinear sample (8 integer addresses).
+    address_sample_nj: float = 0.04
+    #: One non-texture shader ALU op.
+    shader_op_nj: float = 0.01
+    #: Vertex processing energy per vertex.
+    vertex_nj: float = 0.15
+    #: One PATU hash-table insertion (CAM probe + count update).
+    hash_insert_nj: float = 0.012
+    #: One PATU threshold check (entropy/compare logic).
+    patu_check_nj: float = 0.02
+    #: GPU leakage + clocking + fixed-function background power, in
+    #: watts — integrates over frame time, which is why performance
+    #: gains translate into energy savings (Section VII-B(B)).
+    background_power_w: float = 5.2
+    #: DRAM background (refresh + standby) power in watts.
+    dram_background_w: float = 0.45

@@ -1,0 +1,65 @@
+"""Micron-style DRAM power decomposition (paper's analysis layer, [37]).
+
+The Micron technical note decomposes DRAM power into background,
+activate/precharge, read/write burst and termination components. We
+reproduce that decomposition from the DRAM statistics the hierarchy
+simulator produces: row hits skip the activate component, which is how
+access *locality* (not just volume) shows up in DRAM energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PipelineError
+from ..memsys.dram import DramStats
+
+
+@dataclass(frozen=True)
+class DramEnergyParams:
+    """Per-event DRAM energies (nJ) and background power (W)."""
+
+    activate_nj: float = 3.5  # one row activate + precharge
+    burst_nj: float = 6.0  # 64-byte read burst (IO + array)
+    termination_nj: float = 2.5  # bus termination per line
+    background_w: float = 0.25
+
+
+@dataclass(frozen=True)
+class DramEnergyBreakdown:
+    """DRAM energy of one frame by Micron component, in nJ."""
+
+    activate_nj: float
+    burst_nj: float
+    termination_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.activate_nj
+            + self.burst_nj
+            + self.termination_nj
+            + self.background_nj
+        )
+
+
+class DramPowerModel:
+    """Prices DRAM statistics into a Micron-style breakdown."""
+
+    def __init__(self, params: "DramEnergyParams | None" = None) -> None:
+        self.params = params or DramEnergyParams()
+
+    def frame_energy(
+        self, stats: DramStats, frame_seconds: float
+    ) -> DramEnergyBreakdown:
+        if frame_seconds <= 0:
+            raise PipelineError("frame_seconds must be positive")
+        p = self.params
+        row_misses = stats.lines_fetched - stats.row_hits
+        return DramEnergyBreakdown(
+            activate_nj=row_misses * p.activate_nj,
+            burst_nj=stats.lines_fetched * p.burst_nj,
+            termination_nj=stats.lines_fetched * p.termination_nj,
+            background_nj=p.background_w * frame_seconds * 1e9,
+        )

@@ -1,0 +1,116 @@
+"""Frame energy accounting.
+
+Collects one frame's architectural events, prices them with
+:class:`EnergyParams`, and integrates background power over the
+frame's cycle count. The breakdown separates the categories the paper
+discusses: texture datapath, memory hierarchy, DRAM, shader core and
+the (tiny) PATU overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GpuConfig
+from ..errors import PipelineError
+from .components import EnergyParams
+
+
+@dataclass(frozen=True)
+class FrameEvents:
+    """Event counts of one rendered frame."""
+
+    trilinear_samples: int
+    address_samples: int
+    l1_accesses: int
+    l2_accesses: int
+    dram_lines: int
+    shader_ops: int
+    vertices: int
+    hash_insertions: int = 0
+    patu_checks: int = 0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.trilinear_samples,
+            self.address_samples,
+            self.l1_accesses,
+            self.l2_accesses,
+            self.dram_lines,
+            self.shader_ops,
+            self.vertices,
+            self.hash_insertions,
+            self.patu_checks,
+        ) < 0:
+            raise PipelineError("event counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one frame, by category, in nanojoules."""
+
+    texture_nj: float
+    cache_nj: float
+    dram_nj: float
+    shader_nj: float
+    patu_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.texture_nj
+            + self.cache_nj
+            + self.dram_nj
+            + self.shader_nj
+            + self.patu_nj
+            + self.background_nj
+        )
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.total_nj - self.background_nj
+
+    def average_power_w(self, frame_cycles: float, frequency_hz: float) -> float:
+        """Mean power over the frame (total energy / frame time)."""
+        if frame_cycles <= 0:
+            raise PipelineError("frame_cycles must be positive")
+        seconds = frame_cycles / frequency_hz
+        return self.total_nj * 1e-9 / seconds
+
+
+class EnergyModel:
+    """Prices frame events into an :class:`EnergyBreakdown`."""
+
+    def __init__(self, config: GpuConfig, params: "EnergyParams | None" = None):
+        self.config = config
+        self.params = params or EnergyParams()
+
+    def frame_energy(self, events: FrameEvents, frame_cycles: float) -> EnergyBreakdown:
+        if frame_cycles <= 0:
+            raise PipelineError("frame_cycles must be positive")
+        p = self.params
+        texture = (
+            events.trilinear_samples * p.trilinear_filter_nj
+            + events.address_samples * p.address_sample_nj
+        )
+        cache = (
+            events.l1_accesses * p.l1_access_nj
+            + events.l2_accesses * p.l2_access_nj
+        )
+        dram = events.dram_lines * p.dram_line_nj
+        shader = events.shader_ops * p.shader_op_nj + events.vertices * p.vertex_nj
+        patu = (
+            events.hash_insertions * p.hash_insert_nj
+            + events.patu_checks * p.patu_check_nj
+        )
+        seconds = frame_cycles / self.config.frequency_hz
+        background = (p.background_power_w + p.dram_background_w) * seconds * 1e9
+        return EnergyBreakdown(
+            texture_nj=texture,
+            cache_nj=cache,
+            dram_nj=dram,
+            shader_nj=shader,
+            patu_nj=patu,
+            background_nj=background,
+        )

@@ -1,0 +1,84 @@
+"""Minimal PGM/PPM image I/O (dependency-free).
+
+Used by the examples and the CLI to materialize rendered frames and
+SSIM maps as files any image viewer opens. Binary (P5/P6) variants,
+8 bits per channel.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def _to_bytes(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if not np.isfinite(image).all():
+        raise ReproError("image contains non-finite values")
+    return (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_pgm(path, image: np.ndarray) -> pathlib.Path:
+    """Write a 2D [0, 1] float image as binary 8-bit PGM."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ReproError(f"PGM needs a 2D image, got shape {image.shape}")
+    path = pathlib.Path(path)
+    data = _to_bytes(image)
+    header = f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode()
+    path.write_bytes(header + data.tobytes())
+    return path
+
+
+def write_ppm(path, image: np.ndarray) -> pathlib.Path:
+    """Write an (h, w, 3|4) [0, 1] float image as binary 8-bit PPM.
+
+    An alpha channel, if present, is dropped.
+    """
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] not in (3, 4):
+        raise ReproError(f"PPM needs (h, w, 3|4), got shape {image.shape}")
+    path = pathlib.Path(path)
+    data = _to_bytes(image[..., :3])
+    header = f"P6\n{data.shape[1]} {data.shape[0]}\n255\n".encode()
+    path.write_bytes(header + data.tobytes())
+    return path
+
+
+def read_pnm(path) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) back into [0, 1] floats."""
+    raw = pathlib.Path(path).read_bytes()
+    fields: "list[bytes]" = []
+    pos = 0
+    # Header: magic, width, height, maxval — whitespace separated with
+    # optional '#' comment lines.
+    while len(fields) < 4:
+        while pos < len(raw) and raw[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(raw) and raw[pos : pos + 1] == b"#":
+            while pos < len(raw) and raw[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(raw) and not raw[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(raw[start:pos])
+    magic, width, height, maxval = fields
+    pos += 1  # single whitespace after maxval
+    if magic not in (b"P5", b"P6"):
+        raise ReproError(f"unsupported PNM magic {magic!r}")
+    w, h, mv = int(width), int(height), int(maxval)
+    if mv != 255:
+        raise ReproError(f"only 8-bit PNM supported, got maxval {mv}")
+    channels = 1 if magic == b"P5" else 3
+    expected = w * h * channels
+    data = np.frombuffer(raw[pos : pos + expected], dtype=np.uint8)
+    if data.size != expected:
+        raise ReproError("truncated PNM payload")
+    image = data.astype(np.float64) / 255.0
+    if channels == 1:
+        return image.reshape(h, w)
+    return image.reshape(h, w, 3)

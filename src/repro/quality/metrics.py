@@ -1,0 +1,31 @@
+"""Classic full-reference quality metrics (MSE, PSNR).
+
+Included as the comparators Section II-C mentions SSIM outperforming;
+useful in tests to sanity-check that SSIM and PSNR move together for
+simple distortions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def mse(x: np.ndarray, y: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ReproError(f"image shapes differ: {x.shape} vs {y.shape}")
+    return float(np.mean((x - y) ** 2))
+
+
+def psnr(x: np.ndarray, y: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical images)."""
+    err = mse(x, y)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10((data_range * data_range) / err)

@@ -1,0 +1,99 @@
+"""Structure Similarity (SSIM) — Wang et al. 2004, paper Eq. (1)-(2).
+
+The implementation follows the reference formulation: local statistics
+are computed under an 11x11 Gaussian window (sigma = 1.5) over the
+luminance channel, and the per-pixel index combines luminance, contrast
+and structure terms with the usual stabilizing constants
+``C1 = (0.01 L)^2`` and ``C2 = (0.03 L)^2`` for dynamic range ``L``.
+Convolution is separable and numpy-only (reflect padding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+_WINDOW_SIZE = 11
+_SIGMA = 1.5
+
+
+def _gaussian_kernel(size: int = _WINDOW_SIZE, sigma: float = _SIGMA) -> np.ndarray:
+    half = (size - 1) / 2.0
+    x = np.arange(size, dtype=np.float64) - half
+    k = np.exp(-(x * x) / (2.0 * sigma * sigma))
+    return k / k.sum()
+
+
+_KERNEL = _gaussian_kernel()
+
+
+def _filter2d(img: np.ndarray) -> np.ndarray:
+    """Separable Gaussian filter with reflect padding ('same' output)."""
+    pad = _WINDOW_SIZE // 2
+    padded = np.pad(img, pad, mode="reflect")
+    # Horizontal pass.
+    tmp = np.apply_along_axis(
+        lambda row: np.convolve(row, _KERNEL, mode="valid"), 1, padded
+    )
+    # Vertical pass.
+    out = np.apply_along_axis(
+        lambda col: np.convolve(col, _KERNEL, mode="valid"), 0, tmp
+    )
+    return out
+
+
+def _validate(x: np.ndarray, y: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ReproError("SSIM operates on 2D (luminance) images")
+    if x.shape != y.shape:
+        raise ReproError(f"image shapes differ: {x.shape} vs {y.shape}")
+    if min(x.shape) < _WINDOW_SIZE:
+        raise ReproError(
+            f"images must be at least {_WINDOW_SIZE}x{_WINDOW_SIZE}, got {x.shape}"
+        )
+    return x, y
+
+
+def ssim_components(
+    x: np.ndarray, y: np.ndarray, data_range: float = 1.0
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Return the (luminance, contrast-structure) component maps.
+
+    These are the two factors of Eq. (1):
+    ``l = (2 mu_x mu_y + C1) / (mu_x^2 + mu_y^2 + C1)`` and
+    ``cs = (2 sigma_xy + C2) / (sigma_x^2 + sigma_y^2 + C2)``.
+    """
+    x, y = _validate(x, y)
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    mu_x = _filter2d(x)
+    mu_y = _filter2d(y)
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_xx = _filter2d(x * x) - mu_xx
+    sigma_yy = _filter2d(y * y) - mu_yy
+    sigma_xy = _filter2d(x * y) - mu_xy
+
+    lum = (2.0 * mu_xy + c1) / (mu_xx + mu_yy + c1)
+    cs = (2.0 * sigma_xy + c2) / (sigma_xx + sigma_yy + c2)
+    return lum, cs
+
+
+def ssim_map(x: np.ndarray, y: np.ndarray, data_range: float = 1.0) -> np.ndarray:
+    """Per-pixel SSIM index map between images ``x`` and ``y`` (Fig. 8 right).
+
+    Values are in ``[-1, 1]``; lighter (closer to 1) means the two
+    images are locally indistinguishable.
+    """
+    lum, cs = ssim_components(x, y, data_range)
+    return lum * cs
+
+
+def mssim(x: np.ndarray, y: np.ndarray, data_range: float = 1.0) -> float:
+    """Mean SSIM over the frame — the paper's image-quality scalar (Eq. 2)."""
+    return float(ssim_map(x, y, data_range).mean())

@@ -1,0 +1,22 @@
+"""Rasterization stage: triangles -> fragments (Figure 2).
+
+The rasterizer is deferred-texturing style: it resolves visibility
+(early depth test) into a G-buffer holding, per visible pixel, the
+interpolated texture coordinates, their analytic screen-space
+derivatives, and the texture the fragment shader will sample. The
+texture units then consume the G-buffer in tile order.
+"""
+
+from .framebuffer import Framebuffer
+from .gbuffer import GBuffer
+from .rasterizer import Rasterizer, RasterStats
+from .quads import quad_ids, quad_divergence_fraction
+
+__all__ = [
+    "Framebuffer",
+    "GBuffer",
+    "RasterStats",
+    "Rasterizer",
+    "quad_divergence_fraction",
+    "quad_ids",
+]

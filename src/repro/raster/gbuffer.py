@@ -1,0 +1,63 @@
+"""The G-buffer produced by rasterization.
+
+Each visible pixel carries everything the texture unit needs:
+texture coordinates ``(u, v)`` (already scaled by the draw call's
+tiling factor, still in normalized texture space) and the four
+screen-space derivatives that drive footprint/LOD/anisotropy
+computation (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PipelineError
+
+
+@dataclass
+class GBuffer:
+    """Structure-of-arrays over the full screen (``height x width``)."""
+
+    width: int
+    height: int
+    tex_id: np.ndarray  # int16, -1 where no fragment
+    depth: np.ndarray  # float32 NDC depth
+    u: np.ndarray
+    v: np.ndarray
+    dudx: np.ndarray
+    dvdx: np.ndarray
+    dudy: np.ndarray
+    dvdy: np.ndarray
+
+    @classmethod
+    def empty(cls, width: int, height: int) -> "GBuffer":
+        if width <= 0 or height <= 0:
+            raise PipelineError(f"G-buffer size must be positive, got {width}x{height}")
+        shape = (height, width)
+        return cls(
+            width=width,
+            height=height,
+            tex_id=np.full(shape, -1, dtype=np.int16),
+            depth=np.full(shape, np.inf, dtype=np.float32),
+            u=np.zeros(shape, dtype=np.float32),
+            v=np.zeros(shape, dtype=np.float32),
+            dudx=np.zeros(shape, dtype=np.float32),
+            dvdx=np.zeros(shape, dtype=np.float32),
+            dudy=np.zeros(shape, dtype=np.float32),
+            dvdy=np.zeros(shape, dtype=np.float32),
+        )
+
+    @property
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean mask of pixels covered by at least one fragment."""
+        return self.tex_id >= 0
+
+    @property
+    def num_visible(self) -> int:
+        return int(self.coverage_mask.sum())
+
+    def visible_indices(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Row/column indices of visible pixels, in tile-friendly raster order."""
+        return np.nonzero(self.coverage_mask)

@@ -1,0 +1,52 @@
+"""Quad (2x2 pixel) bookkeeping.
+
+Modern GPUs process pixels in 2x2 quads under a SIMD model (paper V-B).
+PATU makes an approximation decision per pixel, so pixels within one
+quad may diverge; Section V-C reports that this happens for only ~1% of
+quads. These helpers compute quad membership and the divergence
+fraction from per-pixel decision masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PipelineError
+
+
+def quad_ids(rows: np.ndarray, cols: np.ndarray, width: int) -> np.ndarray:
+    """Map pixel coordinates to a unique integer id per 2x2 quad."""
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if rows.shape != cols.shape:
+        raise PipelineError("rows and cols must have the same shape")
+    quads_per_row = (width + 1) // 2
+    return (rows // 2) * quads_per_row + (cols // 2)
+
+
+def quad_divergence_fraction(
+    rows: np.ndarray, cols: np.ndarray, width: int, decision: np.ndarray
+) -> float:
+    """Fraction of quads whose pixels disagree on a boolean decision.
+
+    Only quads containing at least two visible pixels can diverge;
+    single-pixel quads count as convergent, matching the hardware
+    definition (a lone pixel trivially agrees with itself).
+    """
+    decision = np.asarray(decision, dtype=bool)
+    if decision.shape != np.asarray(rows).shape:
+        raise PipelineError("decision mask must align with pixel coordinates")
+    if decision.size == 0:
+        return 0.0
+    qids = quad_ids(rows, cols, width)
+    order = np.argsort(qids, kind="stable")
+    sorted_q = qids[order]
+    sorted_d = decision[order]
+    # Segment boundaries between distinct quads.
+    boundaries = np.nonzero(np.diff(sorted_q))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(sorted_q)]])
+    sums = np.add.reduceat(sorted_d.astype(np.int64), starts)
+    counts = ends - starts
+    diverged = (sums > 0) & (sums < counts)
+    return float(diverged.sum() / len(starts))

@@ -1,0 +1,19 @@
+"""End-to-end renderer: scenes -> G-buffer -> filtered frames -> models.
+
+:class:`RenderSession` is the library's main entry point. It renders a
+workload frame once, capturing per-pixel filtering state
+(:class:`FrameCapture`), then evaluates any (scenario, threshold)
+design point against that capture (:class:`FrameResult`) — images,
+MSSIM, cache/DRAM behaviour, cycles, energy and bandwidth breakdown.
+"""
+
+from .pipeline import RenderedFrame, render_gbuffer
+from .session import FrameCapture, FrameResult, RenderSession
+
+__all__ = [
+    "FrameCapture",
+    "FrameResult",
+    "RenderSession",
+    "RenderedFrame",
+    "render_gbuffer",
+]

@@ -1,0 +1,101 @@
+"""Geometry front-end + rasterization for one frame.
+
+Drives the Figure 2 pipeline up to the G-buffer: vertex processing,
+near clipping, back-face culling, tiling statistics, rasterization with
+early depth test. Texturing happens afterwards in the session, in tile
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry.camera import Camera
+from ..geometry.clipping import clip_triangles_near
+from ..geometry.culling import cull_backfaces
+from ..geometry.tiling import TilingEngine
+from ..geometry.transform import transform_mesh
+from ..raster.gbuffer import GBuffer
+from ..raster.rasterizer import Rasterizer, RasterStats
+from ..workloads.scene import Scene
+
+
+@dataclass
+class RenderedFrame:
+    """G-buffer plus the frame's geometry workload counts."""
+
+    gbuffer: GBuffer
+    raster_stats: RasterStats
+    texture_names: "list[str]"
+    vertices: int
+    triangles_submitted: int
+    triangles_after_cull: int
+    tile_triangle_pairs: int
+    tiles_touched: int
+
+
+def render_gbuffer(
+    scene: Scene,
+    camera: Camera,
+    width: int,
+    height: int,
+    *,
+    tile_size: int = 16,
+) -> RenderedFrame:
+    """Render one frame's visibility into a G-buffer.
+
+    Texture ids stored in the G-buffer index into the returned
+    ``texture_names`` list (the frame's texture binding table).
+    """
+    scene.validate()
+    if width <= 0 or height <= 0:
+        raise PipelineError(f"bad viewport {width}x{height}")
+
+    mvp = camera.view_projection(width, height)
+    rasterizer = Rasterizer(width, height)
+    tiling = TilingEngine(width, height, tile_size)
+
+    texture_names: "list[str]" = []
+    tex_index: "dict[str, int]" = {}
+    vertices = 0
+    triangles_after_cull = 0
+    screen_tris: "list[np.ndarray]" = []
+
+    for mesh in scene.meshes:
+        vertices += mesh.num_vertices
+        tid = tex_index.get(mesh.texture)
+        if tid is None:
+            tid = len(texture_names)
+            tex_index[mesh.texture] = tid
+            texture_names.append(mesh.texture)
+        tris = transform_mesh(mesh, mvp)
+        tris = clip_triangles_near(tris)
+        tris = cull_backfaces(tris)
+        if tris.num_triangles == 0:
+            continue
+        triangles_after_cull += tris.num_triangles
+        # Screen-space corners for the tiling engine's binning stats.
+        pos = tris.clip_positions
+        w = pos[:, :, 3:4]
+        ndc = pos[:, :, :2] / w
+        sx = (ndc[:, :, 0] + 1.0) * 0.5 * width
+        sy = (1.0 - ndc[:, :, 1]) * 0.5 * height
+        screen_tris.append(np.stack([sx, sy], axis=-1))
+        rasterizer.draw(tris, tid)
+
+    if screen_tris:
+        tiling.bin_triangles(np.concatenate(screen_tris, axis=0))
+
+    return RenderedFrame(
+        gbuffer=rasterizer.gbuffer,
+        raster_stats=rasterizer.stats,
+        texture_names=texture_names,
+        vertices=vertices,
+        triangles_submitted=rasterizer.stats.triangles_submitted,
+        triangles_after_cull=triangles_after_cull,
+        tile_triangle_pairs=tiling.stats.tile_triangle_pairs,
+        tiles_touched=tiling.stats.tiles_touched,
+    )

@@ -1,0 +1,98 @@
+"""FrameCapture persistence (.npz).
+
+Rendering is the expensive half of every experiment; evaluations are
+cheap. Saving captures lets a user render a workload once (or on a
+bigger machine) and sweep design points later — the same split the
+paper's trace-based methodology uses.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..timing.gpu_timing import FrameWorkload
+from .session import FrameCapture
+
+#: Format version embedded in every file; bump on layout changes.
+FORMAT_VERSION = 2
+
+_ARRAY_FIELDS = (
+    "rows",
+    "cols",
+    "tile_ids",
+    "tex_ids",
+    "n",
+    "lod_tf",
+    "lod_af",
+    "txds",
+    "share_fraction",
+    "af_color",
+    "tf_color",
+    "tfa_color",
+    "sample_row_ptr",
+    "sample_keys",
+    "af_lines",
+    "tf_lines",
+    "tfa_lines",
+    "baseline_luminance",
+)
+
+_WORKLOAD_FIELDS = (
+    "vertices",
+    "triangles",
+    "tile_triangle_pairs",
+    "fragments_generated",
+    "fragments_shaded",
+)
+
+
+def save_capture(path, capture: FrameCapture) -> pathlib.Path:
+    """Serialize a capture to a compressed .npz file."""
+    path = pathlib.Path(path)
+    payload = {name: getattr(capture, name) for name in _ARRAY_FIELDS}
+    payload["meta_version"] = np.asarray([FORMAT_VERSION])
+    payload["meta_dims"] = np.asarray(
+        [capture.frame_index, capture.width, capture.height, capture.tile_size]
+    )
+    payload["meta_clear"] = np.asarray([capture.clear_luminance])
+    payload["meta_workload_counts"] = np.asarray(
+        [getattr(capture.workload, f) for f in _WORKLOAD_FIELDS]
+    )
+    payload["meta_name"] = np.asarray([capture.workload_name])
+    np.savez_compressed(path, **payload)
+    # np.savez appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_capture(path) -> FrameCapture:
+    """Load a capture previously written by :func:`save_capture`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PipelineError(f"no such capture file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["meta_version"][0])
+        if version != FORMAT_VERSION:
+            raise PipelineError(
+                f"capture format version {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        frame_index, width, height, tile_size = (
+            int(v) for v in data["meta_dims"]
+        )
+        counts = [int(v) for v in data["meta_workload_counts"]]
+        arrays = {name: data[name] for name in _ARRAY_FIELDS}
+        workload_name = str(data["meta_name"][0])
+        clear = float(data["meta_clear"][0])
+    return FrameCapture(
+        workload_name=workload_name,
+        frame_index=frame_index,
+        width=width,
+        height=height,
+        tile_size=tile_size,
+        workload=FrameWorkload(**dict(zip(_WORKLOAD_FIELDS, counts))),
+        clear_luminance=clear,
+        **arrays,
+    )

@@ -1,0 +1,21 @@
+"""Game-replay construction: vsync, frame pacing and motion lag.
+
+Reproduces the Section VI replay methodology: frames are drawn at the
+start of a 60 Hz refresh or stalled to the next one, a fixed CPU
+latency of half the refresh interval precedes each frame's GPU work,
+and users perceive motion lag when frames miss their refresh.
+"""
+
+from .vsync import (
+    ReplayStats,
+    VsyncSimulator,
+    frame_complexity,
+    nominal_frame_cycles,
+)
+
+__all__ = [
+    "ReplayStats",
+    "VsyncSimulator",
+    "frame_complexity",
+    "nominal_frame_cycles",
+]

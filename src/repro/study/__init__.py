@@ -1,0 +1,11 @@
+"""Simulated user-experience study (paper Section VII-D, Fig. 22).
+
+The paper recruits 30 campus participants to score trace-based game
+replays on a 1-5 satisfaction scale. We substitute a seeded population
+of simulated viewers with heterogeneous quality/smoothness preferences
+(DESIGN.md §2 documents why this preserves the figure's shape).
+"""
+
+from .users import Participant, UserStudy, StudyResult
+
+__all__ = ["Participant", "StudyResult", "UserStudy"]

@@ -1,0 +1,101 @@
+"""Simulated participants scoring game replays.
+
+Each participant watches a replay characterized by its mean perceived
+quality (MSSIM vs. the 16x-AF reference), its average frame rate and
+its motion-lag fraction, then reports a 1-5 satisfaction score:
+
+``score = 5 - w_q * quality_penalty - w_p * smoothness_penalty``
+
+* ``quality_penalty`` is the MSSIM loss *above a per-person
+  just-noticeable-difference* — the paper observes that images above
+  ~90-93% MSSIM are "difficult to be distinguished by human eyes"
+  (Section VII-A), so small losses cost nothing;
+* ``smoothness_penalty`` combines the shortfall from 60 fps and the
+  motion-lag fraction (Section VI: users feel lags when frames miss
+  the refresh);
+* the weights ``w_q``/``w_p`` vary across the population (some people
+  are quality-sensitive, some fluency-sensitive), drawn from a seeded
+  generator so the study is deterministic.
+
+The emergent behaviour matches Fig. 22: at high resolutions frames are
+slow, so the smoothness term pushes preferences toward *lower*
+thresholds; at low resolutions everything is fast and the quality term
+dominates, pushing preferences toward *higher* thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One simulated viewer."""
+
+    ident: int
+    quality_weight: float
+    performance_weight: float
+    quality_jnd: float  # MSSIM loss below which nothing is perceived
+
+    def score(self, mssim: float, fps: float, lag_fraction: float) -> float:
+        """Satisfaction score in [1, 5] for one replay."""
+        if not 0.0 <= mssim <= 1.0:
+            raise ReproError(f"mssim must be in [0, 1], got {mssim}")
+        if fps <= 0:
+            raise ReproError(f"fps must be positive, got {fps}")
+        quality_pen = max(0.0, (1.0 - mssim) - self.quality_jnd)
+        fps_pen = max(0.0, (60.0 - fps) / 60.0)
+        smooth_pen = 0.6 * fps_pen + 0.4 * lag_fraction
+        raw = (
+            5.0
+            - self.quality_weight * quality_pen
+            - self.performance_weight * smooth_pen
+        )
+        return float(np.clip(raw, 1.0, 5.0))
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Aggregated scores for one replay condition."""
+
+    mean_score: float
+    std_score: float
+    scores: "tuple[float, ...]"
+
+
+class UserStudy:
+    """A deterministic population of simulated participants."""
+
+    def __init__(self, num_participants: int = 30, seed: int = 2018) -> None:
+        if num_participants < 1:
+            raise ReproError("study needs at least one participant")
+        rng = np.random.default_rng(seed)
+        # Quality weights: how many score points a 10% MSSIM loss costs.
+        quality = rng.lognormal(mean=np.log(22.0), sigma=0.35, size=num_participants)
+        perf = rng.lognormal(mean=np.log(4.5), sigma=0.4, size=num_participants)
+        jnd = rng.uniform(0.01, 0.05, size=num_participants)
+        self.participants = tuple(
+            Participant(
+                ident=i,
+                quality_weight=float(quality[i]),
+                performance_weight=float(perf[i]),
+                quality_jnd=float(jnd[i]),
+            )
+            for i in range(num_participants)
+        )
+
+    def evaluate(self, mssim: float, fps: float, lag_fraction: float) -> StudyResult:
+        """Score one replay condition across the whole population."""
+        scores = tuple(
+            p.score(mssim, fps, lag_fraction) for p in self.participants
+        )
+        arr = np.asarray(scores)
+        return StudyResult(
+            mean_score=float(arr.mean()),
+            std_score=float(arr.std()),
+            scores=scores,
+        )

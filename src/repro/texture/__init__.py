@@ -1,0 +1,44 @@
+"""Texture subsystem: texture maps, mipmapping, footprints and filtering.
+
+Implements the conventional texture unit of Figure 2 — texel
+generation, texture quality (LOD) selection, texel address
+calculation, texel fetching and the three-step bilinear / trilinear /
+anisotropic filtering chain (Section II-B) — as vectorized numpy
+kernels operating on batches of fragments.
+"""
+
+from .image import Texture2D
+from .mipmap import MipChain
+from .addressing import TextureLayout, TEXEL_BYTES, CACHE_LINE_BYTES
+from .footprint import FootprintInfo, compute_footprints
+from .sampler import bilinear_sample, trilinear_sample, trilinear_footprint_keys
+from .anisotropic import AnisoResult, anisotropic_filter, aniso_sample_positions
+from .unit import TextureUnit, FilteredBatch
+from .compression import (
+    CompressedTextureLayout,
+    compress_chain,
+    compress_texture,
+    compression_error,
+)
+
+__all__ = [
+    "AnisoResult",
+    "CACHE_LINE_BYTES",
+    "CompressedTextureLayout",
+    "FilteredBatch",
+    "FootprintInfo",
+    "MipChain",
+    "TEXEL_BYTES",
+    "Texture2D",
+    "TextureLayout",
+    "TextureUnit",
+    "aniso_sample_positions",
+    "anisotropic_filter",
+    "bilinear_sample",
+    "compress_chain",
+    "compress_texture",
+    "compression_error",
+    "compute_footprints",
+    "trilinear_footprint_keys",
+    "trilinear_sample",
+]

@@ -1,0 +1,98 @@
+"""Texel address calculation (the *Texel Address Calculator* of Figure 2).
+
+Real GPUs store textures in a tiled (block-linear) layout so that a
+cache line holds a small 2D neighbourhood of texels instead of a raster
+scanline. We reproduce that: texels are RGBA8 (4 bytes), grouped into
+8x8-texel tiles laid out row-major, with tiles themselves row-major
+within each mip level, and mip levels packed contiguously per texture
+in a global texture address space.
+
+Byte addresses feed the texture cache simulators; 64-byte cache-line
+addresses are ``byte_address >> 6``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TextureError
+from .mipmap import MipChain
+
+#: RGBA8 texel size in bytes.
+TEXEL_BYTES = 4
+#: Cache line size used throughout the memory hierarchy.
+CACHE_LINE_BYTES = 64
+_LINE_SHIFT = 6
+#: Texel tile edge (8x8 texels = 256 B = 4 cache lines per tile).
+TILE_EDGE = 8
+
+
+class TextureLayout:
+    """Assigns global byte addresses to every texel of a set of mip chains.
+
+    Textures are placed sequentially in a dedicated texture address
+    space, each aligned to a cache line. The per-level base offsets are
+    precomputed so address generation is pure numpy arithmetic.
+    """
+
+    def __init__(self, chains: "list[MipChain]") -> None:
+        if not chains:
+            raise TextureError("TextureLayout needs at least one mip chain")
+        self.chains = list(chains)
+        self._level_bases: "list[np.ndarray]" = []
+        self._level_widths: "list[np.ndarray]" = []
+        self._level_heights: "list[np.ndarray]" = []
+        self._tex_base: "list[int]" = []
+        cursor = 0
+        for chain in self.chains:
+            self._tex_base.append(cursor)
+            bases = []
+            widths = []
+            heights = []
+            for arr in chain.levels:
+                h, w = arr.shape[:2]
+                bases.append(cursor)
+                widths.append(w)
+                heights.append(h)
+                tiles_x = (w + TILE_EDGE - 1) // TILE_EDGE
+                tiles_y = (h + TILE_EDGE - 1) // TILE_EDGE
+                nbytes = tiles_x * tiles_y * TILE_EDGE * TILE_EDGE * TEXEL_BYTES
+                # Align each level to a cache line.
+                cursor += (nbytes + CACHE_LINE_BYTES - 1) & ~(CACHE_LINE_BYTES - 1)
+            self._level_bases.append(np.asarray(bases, dtype=np.int64))
+            self._level_widths.append(np.asarray(widths, dtype=np.int64))
+            self._level_heights.append(np.asarray(heights, dtype=np.int64))
+        self.total_bytes = cursor
+
+    def num_textures(self) -> int:
+        return len(self.chains)
+
+    def texel_addresses(
+        self,
+        tex_index: int,
+        level: np.ndarray,
+        iy: np.ndarray,
+        ix: np.ndarray,
+    ) -> np.ndarray:
+        """Global byte addresses for texels addressed by (level, y, x).
+
+        Coordinates use wrap (GL_REPEAT) addressing, matching the
+        sampler. Arrays broadcast together; the result is int64 bytes.
+        """
+        if not 0 <= tex_index < len(self.chains):
+            raise TextureError(f"texture index {tex_index} out of range")
+        level = np.asarray(level, dtype=np.int64)
+        bases = self._level_bases[tex_index][level]
+        w = self._level_widths[tex_index][level]
+        h = self._level_heights[tex_index][level]
+        x = np.mod(np.asarray(ix, dtype=np.int64), w)
+        y = np.mod(np.asarray(iy, dtype=np.int64), h)
+        tiles_x = (w + TILE_EDGE - 1) // TILE_EDGE
+        tile_index = (y // TILE_EDGE) * tiles_x + (x // TILE_EDGE)
+        intra = (y % TILE_EDGE) * TILE_EDGE + (x % TILE_EDGE)
+        return bases + (tile_index * (TILE_EDGE * TILE_EDGE) + intra) * TEXEL_BYTES
+
+    @staticmethod
+    def line_addresses(byte_addresses: np.ndarray) -> np.ndarray:
+        """Convert byte addresses to 64-byte cache-line addresses."""
+        return np.asarray(byte_addresses, dtype=np.int64) >> _LINE_SHIFT

@@ -1,0 +1,77 @@
+"""Mipmap chain generation.
+
+A :class:`MipChain` holds the full pyramid for one texture, from the
+base level down to 1x1, produced with a 2x2 box filter (the standard
+``glGenerateMipmap`` kernel). Trilinear and anisotropic filtering
+sample two adjacent levels of this pyramid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TextureError
+from .image import Texture2D
+
+
+def _box_downsample(level: np.ndarray) -> np.ndarray:
+    """Average 2x2 texel blocks; a dimension of 1 is kept (non-square mips)."""
+    h, w = level.shape[:2]
+    nh, nw = max(h // 2, 1), max(w // 2, 1)
+    if h == 1 and w == 1:
+        raise TextureError("cannot downsample a 1x1 level")
+    if h == 1:
+        return level.reshape(1, nw, 2, 4).mean(axis=2)
+    if w == 1:
+        return level.reshape(nh, 2, 1, 4).mean(axis=1)
+    return level.reshape(nh, 2, nw, 2, 4).mean(axis=(1, 3))
+
+
+class MipChain:
+    """Full mip pyramid of a texture."""
+
+    def __init__(self, texture: Texture2D) -> None:
+        self.texture = texture
+        levels = [texture.data]
+        while levels[-1].shape[0] > 1 or levels[-1].shape[1] > 1:
+            levels.append(_box_downsample(levels[-1]))
+        #: ``levels[0]`` is the base (finest) level.
+        self.levels: "list[np.ndarray]" = levels
+
+    @property
+    def name(self) -> str:
+        return self.texture.name
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
+
+    def level_size(self, level: int) -> "tuple[int, int]":
+        """(width, height) of a mip level."""
+        if not 0 <= level < self.num_levels:
+            raise TextureError(f"level {level} out of range [0, {self.max_level}]")
+        arr = self.levels[level]
+        return arr.shape[1], arr.shape[0]
+
+    def total_texels(self) -> int:
+        """Total texel count across all levels (~4/3 of base level)."""
+        return sum(lv.shape[0] * lv.shape[1] for lv in self.levels)
+
+    def gather(self, level: np.ndarray, iy: np.ndarray, ix: np.ndarray) -> np.ndarray:
+        """Gather texel colors for arrays of (level, y, x) with wrap addressing.
+
+        All three index arrays must share a shape; levels must be valid.
+        Returns colors of shape ``(*index_shape, 4)``.
+        """
+        level = np.asarray(level)
+        out = np.empty(level.shape + (4,), dtype=np.float32)
+        for lv in np.unique(level):
+            arr = self.levels[int(lv)]
+            h, w = arr.shape[:2]
+            m = level == lv
+            out[m] = arr[np.mod(iy[m], h), np.mod(ix[m], w)]
+        return out

@@ -1,0 +1,150 @@
+"""The conventional texture unit (Figure 2, blue block).
+
+:class:`TextureUnit` runs the full three-step filtering chain for a
+batch of fragments bound to one texture and captures, per fragment:
+
+* the anisotropically filtered color (the baseline output),
+* the trilinear-only color at TF's LOD (what naive approximation gives),
+* the trilinear-only color at AF's LOD (what PATU's LOD-reuse gives),
+* the anisotropy degree ``N`` and both LODs,
+* the footprint key of every AF constituent sample (CSR layout), and
+* the cache-line addresses every variant would fetch.
+
+Capturing all three color variants plus the keys in a single pass is
+what lets the experiment layer evaluate *any* (scenario, threshold)
+point without re-rendering — PATU's decisions are pure functions of
+this per-fragment state (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TextureError
+from .addressing import TextureLayout
+from .anisotropic import anisotropic_filter
+from .footprint import FootprintInfo, compute_footprints
+from .mipmap import MipChain
+from .sampler import texel_coords_from_info, trilinear_info, trilinear_sample
+
+#: Texels touched by one trilinear sample (2x2 at each of two levels).
+TEXELS_PER_TRILINEAR = 8
+
+
+@dataclass
+class FilteredBatch:
+    """Filtering results for one (texture, fragment-batch) pair.
+
+    ``sample_row_ptr`` is the CSR row pointer over fragments: fragment
+    ``i``'s AF samples occupy ``values[row_ptr[i]:row_ptr[i+1]]`` in
+    ``sample_keys`` and, times :data:`TEXELS_PER_TRILINEAR`, in
+    ``af_lines``.
+    """
+
+    tex_index: int
+    count: int
+    n: np.ndarray
+    lod_tf: np.ndarray
+    lod_af: np.ndarray
+    af_color: np.ndarray
+    tf_color: np.ndarray
+    tf_af_lod_color: np.ndarray
+    sample_keys: np.ndarray
+    sample_row_ptr: np.ndarray
+    af_lines: np.ndarray
+    tf_lines: np.ndarray
+    tf_af_lod_lines: np.ndarray
+
+    @property
+    def total_af_samples(self) -> int:
+        return int(self.sample_row_ptr[-1])
+
+
+class TextureUnit:
+    """Filters fragment batches against one texture's mip chain."""
+
+    def __init__(self, layout: TextureLayout, *, max_aniso: int = 16) -> None:
+        self.layout = layout
+        self.max_aniso = max_aniso
+
+    def filter_batch(
+        self,
+        tex_index: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        dudx: np.ndarray,
+        dvdx: np.ndarray,
+        dudy: np.ndarray,
+        dvdy: np.ndarray,
+    ) -> FilteredBatch:
+        """Run texel generation, address calculation and all filter variants."""
+        chain: MipChain = self.layout.chains[tex_index]
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        count = u.shape[0]
+        if count == 0:
+            raise TextureError("cannot filter an empty fragment batch")
+
+        fp = compute_footprints(
+            dudx, dvdx, dudy, dvdy,
+            chain.texture.width, chain.texture.height,
+            max_aniso=self.max_aniso, max_level=chain.max_level,
+        )
+
+        # Trilinear-only variants (one sample per fragment).
+        tf_info = trilinear_info(chain, u, v, fp.lod_tf)
+        tf_color = trilinear_sample(chain, u, v, fp.lod_tf, info=tf_info)
+        tfa_info = trilinear_info(chain, u, v, fp.lod_af)
+        tf_af_lod_color = trilinear_sample(chain, u, v, fp.lod_af, info=tfa_info)
+        tf_lines = self._lines_from_info(tex_index, tf_info)
+        tf_af_lod_lines = self._lines_from_info(tex_index, tfa_info)
+
+        # Anisotropic variant, grouped by N for dense kernels.
+        row_ptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(fp.n, out=row_ptr[1:])
+        total = int(row_ptr[-1])
+        af_color = np.empty((count, 4), dtype=np.float32)
+        sample_keys = np.empty(total, dtype=np.int64)
+        af_lines = np.empty(total * TEXELS_PER_TRILINEAR, dtype=np.int64)
+
+        for n_value in np.unique(fp.n):
+            n_value = int(n_value)
+            mask = fp.n == n_value
+            result = anisotropic_filter(chain, u, v, fp, mask, n_value)
+            af_color[mask] = result.color
+            rows = np.nonzero(mask)[0]
+            # Sample slots for these fragments in the CSR value arrays.
+            slots = row_ptr[rows][:, None] + np.arange(n_value)[None, :]
+            sample_keys[slots.ravel()] = result.sample_keys.ravel()
+            levels, iy, ix = result.texel_coords()
+            addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
+            lines = TextureLayout.line_addresses(addrs)
+            line_slots = (
+                slots.reshape(-1)[:, None] * TEXELS_PER_TRILINEAR
+                + np.arange(TEXELS_PER_TRILINEAR)[None, :]
+            )
+            af_lines[line_slots.ravel()] = lines.reshape(-1)
+
+        return FilteredBatch(
+            tex_index=tex_index,
+            count=count,
+            n=fp.n,
+            lod_tf=fp.lod_tf,
+            lod_af=fp.lod_af,
+            af_color=af_color,
+            tf_color=tf_color,
+            tf_af_lod_color=tf_af_lod_color,
+            sample_keys=sample_keys,
+            sample_row_ptr=row_ptr,
+            af_lines=af_lines,
+            tf_lines=tf_lines,
+            tf_af_lod_lines=tf_af_lod_lines,
+        )
+
+    def _lines_from_info(self, tex_index: int, info) -> np.ndarray:
+        """Cache-line addresses of the 8 texels of each trilinear sample."""
+        levels, iy, ix = texel_coords_from_info(info)
+        addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
+        return TextureLayout.line_addresses(addrs)

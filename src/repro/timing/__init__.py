@@ -1,0 +1,23 @@
+"""Performance (cycle) models for the texture pipeline and the whole GPU.
+
+The reproduction cannot be cycle-accurate like the paper's ATTILA-sim;
+instead it uses throughput-latency models driven by the exact event
+counts the functional simulation produces (trilinear samples filtered,
+addresses computed, cache hits/misses at every level, DRAM traffic).
+All reported performance numbers are *ratios between design points*
+under the same model, matching how the paper reports them (normalized
+to the 16x-AF baseline).
+"""
+
+from .params import TimingParams
+from .texpipe import TexturePipelineModel, TextureTiming
+from .gpu_timing import GpuTimingModel, FrameTiming, FrameWorkload
+
+__all__ = [
+    "FrameTiming",
+    "FrameWorkload",
+    "GpuTimingModel",
+    "TexturePipelineModel",
+    "TextureTiming",
+    "TimingParams",
+]

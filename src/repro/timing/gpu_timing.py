@@ -1,0 +1,109 @@
+"""Whole-GPU frame timing model.
+
+Frame time decomposes along Figure 2's pipeline: geometry processing
+(vertex shading, clipping, culling, tiling) runs ahead of per-tile
+fragment work; within the fragment phase the shader ALU work and the
+texture pipeline overlap, so the phase is bounded by the slower of the
+two. The sum of both phases plus fixed per-frame overhead is the
+frame's GPU time, from which fps and vsync behaviour follow
+(Section VI's replay methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GpuConfig
+from ..errors import PipelineError
+from .params import TimingParams
+from .texpipe import TextureTiming
+
+
+@dataclass(frozen=True)
+class FrameWorkload:
+    """Geometry/fragment workload counts of one frame."""
+
+    vertices: int
+    triangles: int
+    tile_triangle_pairs: int
+    fragments_generated: int
+    fragments_shaded: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.vertices,
+            self.triangles,
+            self.tile_triangle_pairs,
+            self.fragments_generated,
+            self.fragments_shaded,
+        ) < 0:
+            raise PipelineError("workload counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Cycle breakdown of one rendered frame."""
+
+    geometry_cycles: float
+    raster_cycles: float
+    shader_cycles: float
+    texture_busy_cycles: float
+    fixed_cycles: float
+    texture_overlap: float = 0.35
+
+    @property
+    def fragment_phase_cycles(self) -> float:
+        """Shading and texturing partially overlap within the phase.
+
+        The longer of the two bounds the phase; a ``texture_overlap``
+        fraction of the shorter hides underneath it and the rest is
+        exposed (shader threads stall waiting on texture results).
+        """
+        longer = max(self.shader_cycles, self.texture_busy_cycles)
+        shorter = min(self.shader_cycles, self.texture_busy_cycles)
+        return longer + (1.0 - self.texture_overlap) * shorter
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.geometry_cycles
+            + self.raster_cycles
+            + self.fragment_phase_cycles
+            + self.fixed_cycles
+        )
+
+
+class GpuTimingModel:
+    """Combines workload counts and texture timing into frame cycles."""
+
+    def __init__(self, config: GpuConfig, params: "TimingParams | None" = None):
+        self.config = config
+        self.params = params or TimingParams()
+
+    def frame_timing(
+        self, workload: FrameWorkload, texture: TextureTiming
+    ) -> FrameTiming:
+        cfg = self.config
+        p = self.params
+        geometry = workload.vertices * p.cycles_per_vertex / cfg.total_shaders
+        raster = (
+            workload.triangles * p.cycles_per_triangle
+            + workload.tile_triangle_pairs * p.cycles_per_tile_triangle
+        ) / cfg.num_clusters
+        shader = (
+            workload.fragments_shaded
+            * p.frag_alu_ops
+            / (cfg.total_shaders * cfg.simd_width)
+        )
+        return FrameTiming(
+            geometry_cycles=geometry,
+            raster_cycles=raster,
+            shader_cycles=shader,
+            texture_busy_cycles=texture.busy_cycles,
+            fixed_cycles=p.frame_fixed_cycles,
+            texture_overlap=p.texture_overlap,
+        )
+
+    def fps(self, timing: FrameTiming) -> float:
+        """Uncapped frame rate implied by the frame's GPU time."""
+        return self.config.frequency_hz / timing.total_cycles

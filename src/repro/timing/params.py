@@ -1,0 +1,61 @@
+"""Calibration constants of the timing model.
+
+These are the free parameters of the throughput-latency model. They
+were tuned once, against the paper's *baseline* observations (Section
+II-B: disabling AF speeds up rendering by ~41% on average and cuts
+texture-filtering latency by ~47%; Fig. 6: texture fetching is ~71% of
+memory bandwidth), then frozen for every experiment. No experiment
+tunes them per-design-point — differences between design points come
+exclusively from the measured event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Free constants of the GPU timing model."""
+
+    #: Shader cycles to process one vertex (transform + assembly setup).
+    cycles_per_vertex: float = 12.0
+    #: Non-texture shader ALU ops per fragment (lighting, color math,
+    #: blending — commercial-game fragment shaders run hundreds of ops).
+    frag_alu_ops: float = 288.0
+    #: Rasterizer setup cycles per triangle.
+    cycles_per_triangle: float = 16.0
+    #: Tiling-engine cycles per (tile, triangle) pair.
+    cycles_per_tile_triangle: float = 2.0
+    #: Fixed per-frame overhead cycles (state changes, buffer flushes).
+    frame_fixed_cycles: float = 20_000.0
+
+    #: L1 texture-cache hit latency (cycles).
+    l1_hit_latency: float = 4.0
+    #: L2 hit latency seen by an L1 miss (cycles).
+    l2_hit_latency: float = 24.0
+    #: Memory-level parallelism: outstanding texture misses per unit.
+    mlp_per_unit: float = 20.0
+    #: Intra-pixel overlap divisor for the per-request latency metric.
+    request_overlap: float = 4.0
+    #: Fixed per-request cycles (texel generation, LOD selection, queue
+    #: traversal) paid regardless of how many samples the request needs.
+    request_fixed_cycles: float = 14.0
+    #: Effective DRAM bandwidth derate vs. the Table I peak (scheduling,
+    #: refresh, bank conflicts).
+    dram_efficiency: float = 0.95
+
+    #: Address ALU throughput: cycles per trilinear sample per texture
+    #: unit (4 address ALUs compute one sample's 8 addresses in 2
+    #: cycles, across 4 pipelines -> 0.5 cycles/sample amortized).
+    addr_cycles_per_sample: float = 0.5
+    #: PATU hash-table lookups are overlapped with address calculation
+    #: (Section V-B) but the final entropy computation and compare add
+    #: a small fixed cost per checked pixel.
+    patu_check_cycles: float = 0.25
+
+    #: Fraction of the shorter of (shader work, texture busy time) hidden
+    #: under the longer within the fragment phase. 0 = fully serial,
+    #: 1 = perfect overlap. Shader threads stall on texture results, so
+    #: real machines sit well below 1.
+    texture_overlap: float = 0.35

@@ -1,0 +1,193 @@
+"""Discrete-event model of the (PATU-augmented) texture pipeline.
+
+The analytic model in :mod:`repro.timing.texpipe` prices a frame from
+aggregate event counts. This module provides the cross-check: an
+explicit in-order pipeline simulation of one texture unit processing a
+stream of quads through the Fig. 14 stages —
+
+    texel generation -> stage-1 check -> quality (LOD) selection ->
+    texel address calculation (+ hash-table insertion, overlapped) ->
+    stage-2 check -> texel fetching -> filtering
+
+Each stage is a resource with a service time; a quad occupies a stage
+for its service time and stages work on different quads concurrently
+(standard pipeline semantics: the unit's throughput is set by the
+slowest stage, plus exposed memory stalls). Fetch latency is hidden up
+to a bounded number of outstanding misses, as in the analytic model.
+
+Used by the validation tests to show the closed-form throughput model
+and the event-driven model agree on relative design-point costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..errors import PipelineError
+from ..timing.params import TimingParams
+
+
+@dataclass(frozen=True)
+class QuadWork:
+    """Texture work of one quad (4 pixels) at one design point.
+
+    ``samples_per_pixel`` are the trilinear samples each pixel filters
+    (already reflecting any PATU approximation); ``address_samples``
+    the samples whose addresses are computed (stage-2 recalculation
+    included); ``misses`` the quad's L1 misses with their service
+    latencies precomputed by the caller.
+    """
+
+    samples_per_pixel: "tuple[int, int, int, int]"
+    address_samples: int
+    checked: bool
+    miss_latencies: "tuple[float, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if len(self.samples_per_pixel) != 4:
+            raise PipelineError("a quad has exactly 4 pixels")
+        if min(self.samples_per_pixel) < 0 or self.address_samples < 0:
+            raise PipelineError("work counts must be non-negative")
+
+
+@dataclass
+class PipelineTrace:
+    """Result of simulating one quad stream."""
+
+    total_cycles: float
+    stage_busy: "dict[str, float]" = field(default_factory=dict)
+    quads: int = 0
+
+    @property
+    def bottleneck(self) -> str:
+        return max(self.stage_busy, key=self.stage_busy.get)
+
+
+class TexturePipelineSimulator:
+    """In-order pipelined texture unit with PATU stages."""
+
+    def __init__(self, config: GpuConfig, params: "TimingParams | None" = None):
+        self.config = config
+        self.params = params or TimingParams()
+
+    # -- per-stage service times (cycles a quad occupies the stage) ----
+
+    def _service_times(self, quad: QuadWork) -> "dict[str, float]":
+        cfg = self.config.texture_unit
+        p = self.params
+        max_samples = max(quad.samples_per_pixel)
+        services = {
+            "texel_gen": 1.0,
+            "stage1_check": p.patu_check_cycles if quad.checked else 0.0,
+            "lod_select": 1.0,
+            # The 4 address ALUs serve the quad's pixels in parallel,
+            # so the quad occupies the stage for its total address work
+            # spread over its active pixels. Hash insertion is
+            # overlapped with address calculation (Section V-B).
+            "addr_calc": quad.address_samples
+            * p.addr_cycles_per_sample
+            / max(sum(1 for s in quad.samples_per_pixel if s > 0), 1),
+            "stage2_check": p.patu_check_cycles if quad.checked else 0.0,
+            # Filtering: one trilinear per pipeline per 2 cycles; the
+            # quad's four pipelines run in lockstep on their own pixels.
+            "filter": max_samples * cfg.cycles_per_trilinear,
+        }
+        return services
+
+    def run(self, quads: "list[QuadWork]") -> PipelineTrace:
+        """Simulate a quad stream through the pipeline."""
+        if not quads:
+            raise PipelineError("need at least one quad")
+        p = self.params
+        stage_names = (
+            "texel_gen", "stage1_check", "lod_select",
+            "addr_calc", "stage2_check", "fetch", "filter",
+        )
+        stage_free = {name: 0.0 for name in stage_names}
+        stage_busy = {name: 0.0 for name in stage_names}
+        #: Completion times of in-flight misses (bounded MLP window).
+        outstanding: "list[float]" = []
+        mlp = max(int(p.mlp_per_unit), 1)
+
+        finish = 0.0
+        for quad in quads:
+            services = self._service_times(quad)
+            # Enter the pipeline as soon as the first stage frees up.
+            t = max(stage_free["texel_gen"], 0.0)
+            for name in ("texel_gen", "stage1_check", "lod_select",
+                         "addr_calc", "stage2_check"):
+                t = max(t, stage_free[name])
+                service = services[name]
+                stage_free[name] = t + service
+                stage_busy[name] += service
+                t += service
+
+            # Fetch: misses enter a bounded outstanding window; the quad
+            # proceeds when its own misses are issued, but filtering
+            # waits for their completion.
+            t = max(t, stage_free["fetch"])
+            issue = t
+            done_by = t
+            for latency in quad.miss_latencies:
+                if len(outstanding) >= mlp:
+                    # Wait for the oldest in-flight miss to retire.
+                    issue = max(issue, min(outstanding))
+                    outstanding.remove(min(outstanding))
+                completion = issue + latency
+                outstanding.append(completion)
+                done_by = max(done_by, completion)
+            stage_free["fetch"] = issue
+            stage_busy["fetch"] += done_by - t
+
+            # Filtering starts once texels are available.
+            t = max(done_by, stage_free["filter"])
+            stage_free["filter"] = t + services["filter"]
+            stage_busy["filter"] += services["filter"]
+            finish = max(finish, stage_free["filter"])
+
+        return PipelineTrace(
+            total_cycles=finish, stage_busy=stage_busy, quads=len(quads)
+        )
+
+
+def quads_from_decision(
+    n: np.ndarray,
+    trilinear: np.ndarray,
+    address: np.ndarray,
+    checked: bool,
+    *,
+    miss_rate: float = 0.05,
+    miss_latency: float = 24.0,
+    seed: int = 0,
+) -> "list[QuadWork]":
+    """Group per-pixel work into quads for the simulator.
+
+    Pixels are packed four at a time in order (the capture's tile
+    order already keeps neighbours together); a deterministic RNG
+    draws each quad's miss count from its texel volume.
+    """
+    n = np.asarray(n)
+    trilinear = np.asarray(trilinear)
+    address = np.asarray(address)
+    if not (n.shape == trilinear.shape == address.shape):
+        raise PipelineError("per-pixel arrays must align")
+    rng = np.random.default_rng(seed)
+    quads = []
+    for start in range(0, len(n), 4):
+        tri = trilinear[start : start + 4]
+        addr = address[start : start + 4]
+        pixel_samples = tuple(int(v) for v in tri) + (0,) * (4 - tri.size)
+        texels = int(tri.sum()) * 8
+        misses = rng.binomial(texels, miss_rate) if texels else 0
+        quads.append(
+            QuadWork(
+                samples_per_pixel=pixel_samples,  # type: ignore[arg-type]
+                address_samples=int(addr.sum()),
+                checked=checked,
+                miss_latencies=tuple([miss_latency] * misses),
+            )
+        )
+    return quads

@@ -1,0 +1,136 @@
+"""Texture-pipeline cycle model.
+
+Models the texture units of Table I as throughput resources:
+
+* the filtering datapath sustains one trilinear sample per pipeline per
+  ``cycles_per_trilinear`` cycles (4 pipelines per unit, SIMD quad);
+* the address ALUs sustain ``1/addr_cycles_per_sample`` samples per
+  unit per cycle;
+* texel fetches hit the two-level cache hierarchy; misses overlap up to
+  ``mlp_per_unit`` outstanding requests per unit;
+* DRAM imposes a frame-wide bandwidth bound.
+
+The pipeline's busy time for a frame is the max of the compute,
+latency and bandwidth bounds — the standard bottleneck (roofline)
+composition. The same event counts also yield the per-request *texture
+filtering latency* that Fig. 18 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GpuConfig
+from ..errors import PipelineError
+from ..memsys.hierarchy import HierarchyStats
+from .params import TimingParams
+
+
+@dataclass(frozen=True)
+class TextureTiming:
+    """Cycle accounting for one frame's texture work."""
+
+    filter_cycles: float
+    address_cycles: float
+    patu_cycles: float
+    latency_cycles: float
+    bandwidth_cycles: float
+
+    @property
+    def compute_cycles(self) -> float:
+        return max(self.filter_cycles, self.address_cycles) + self.patu_cycles
+
+    @property
+    def busy_cycles(self) -> float:
+        """The texture pipeline's occupancy for the frame."""
+        return max(self.compute_cycles, self.latency_cycles, self.bandwidth_cycles)
+
+
+class TexturePipelineModel:
+    """Computes :class:`TextureTiming` from frame event counts."""
+
+    def __init__(self, config: GpuConfig, params: "TimingParams | None" = None):
+        self.config = config
+        self.params = params or TimingParams()
+
+    def frame_timing(
+        self,
+        *,
+        trilinear_samples: int,
+        address_samples: int,
+        checked_pixels: int,
+        hier: HierarchyStats,
+        dram_transfer_cycles: float,
+        dram_latency: float,
+    ) -> TextureTiming:
+        """Build the timing breakdown for one frame.
+
+        Args:
+            trilinear_samples: samples actually filtered.
+            address_samples: samples whose addresses were computed
+                (includes PATU's stage-2 recalculation overhead).
+            checked_pixels: pixels that went through PATU's predictor
+                (0 for the baseline design).
+            hier: cache/DRAM statistics from the hierarchy simulation.
+            dram_transfer_cycles: cycles to move the miss traffic at
+                peak bandwidth.
+            dram_latency: average per-access DRAM latency (cycles).
+        """
+        if trilinear_samples < 0 or address_samples < 0 or checked_pixels < 0:
+            raise PipelineError("event counts must be non-negative")
+        cfg = self.config
+        p = self.params
+        units = cfg.num_texture_units
+        pipelines = units * cfg.texture_unit.quad_size
+
+        filter_cycles = (
+            trilinear_samples * cfg.texture_unit.cycles_per_trilinear / pipelines
+        )
+        address_cycles = address_samples * p.addr_cycles_per_sample / units
+        patu_cycles = checked_pixels * p.patu_check_cycles / units
+
+        # L1 hits are fully pipelined and cost no occupancy; only misses
+        # stall, overlapped across mlp_per_unit outstanding requests.
+        l1_misses = hier.l1.misses
+        l2_misses = hier.l2.misses
+        latency_cycles = (
+            l1_misses * p.l2_hit_latency + l2_misses * dram_latency
+        ) / (units * p.mlp_per_unit)
+        bandwidth_cycles = dram_transfer_cycles / p.dram_efficiency
+
+        return TextureTiming(
+            filter_cycles=filter_cycles,
+            address_cycles=address_cycles,
+            patu_cycles=patu_cycles,
+            latency_cycles=latency_cycles,
+            bandwidth_cycles=bandwidth_cycles,
+        )
+
+    def request_latency(
+        self,
+        timing: TextureTiming,
+        *,
+        num_requests: int,
+        trilinear_samples: int,
+        hier: HierarchyStats,
+        dram_latency: float,
+    ) -> float:
+        """Average cycles to satisfy one texture request (Fig. 18 metric).
+
+        A request is one pixel's texture lookup: its address
+        calculation and filtering are serial with its own texel
+        fetches, but fetches of a request's many texels overlap by
+        ``request_overlap``.
+        """
+        if num_requests <= 0:
+            raise PipelineError("need at least one texture request")
+        cfg = self.config
+        p = self.params
+        samples_per_req = trilinear_samples / num_requests
+        compute = samples_per_req * (
+            cfg.texture_unit.cycles_per_trilinear + p.addr_cycles_per_sample
+        )
+        miss_penalty = (
+            hier.l1.misses * p.l2_hit_latency + hier.l2.misses * dram_latency
+        ) / num_requests / p.request_overlap
+        return p.request_fixed_cycles + p.l1_hit_latency + compute + miss_penalty

@@ -1,0 +1,49 @@
+"""Workloads: procedural game scenes standing in for the paper's traces.
+
+The paper replays captured OpenGL/Direct3D traces of seven commercial
+games (Table II) through ATTILA-sim. Those traces are not
+redistributable, so each game is substituted by a procedurally
+generated scene tuned to the game's rendering character — the relevant
+property being the *distribution of anisotropy and texel-footprint
+overlap* its surfaces produce (see DESIGN.md §2). All content is
+seeded and deterministic.
+"""
+
+from .proctex import (
+    asphalt_texture,
+    brick_texture,
+    checker_texture,
+    dirt_texture,
+    facade_texture,
+    grass_texture,
+    metal_texture,
+    noise_texture,
+    stone_texture,
+    water_texture,
+    wood_texture,
+)
+from .scene import Scene, CameraPath, Workload
+from .games import GAME_WORKLOADS, TABLE2_ROWS, get_workload, workload_names
+from .rbench import rbench_workload
+
+__all__ = [
+    "CameraPath",
+    "GAME_WORKLOADS",
+    "Scene",
+    "TABLE2_ROWS",
+    "Workload",
+    "asphalt_texture",
+    "brick_texture",
+    "checker_texture",
+    "dirt_texture",
+    "facade_texture",
+    "get_workload",
+    "grass_texture",
+    "metal_texture",
+    "noise_texture",
+    "rbench_workload",
+    "stone_texture",
+    "water_texture",
+    "wood_texture",
+    "workload_names",
+]

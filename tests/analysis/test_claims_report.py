@@ -1,0 +1,86 @@
+"""Tests for claim evaluation and report generation."""
+
+import pytest
+
+from repro.analysis.claims import Claim, PAPER_CLAIMS, evaluate_claims
+from repro.analysis.report import build_report, run_all
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentContext, ExperimentResult
+
+
+def _fake_results():
+    return {
+        "fig5": ExperimentResult(
+            experiment="fig5", title="t",
+            rows=[
+                {"workload": "a", "speedup": 1.5, "energy_reduction": 0.35},
+                {"workload": "average", "speedup": 1.4, "energy_reduction": 0.3},
+            ],
+        ),
+        "fig19": ExperimentResult(
+            experiment="fig19", title="t",
+            rows=[{"workload": "average", "patu_speedup": 1.15,
+                   "patu_mssim": 0.95}],
+        ),
+    }
+
+
+class TestClaims:
+    def test_only_present_experiments_evaluated(self):
+        outcomes = evaluate_claims(_fake_results())
+        names = {o.claim.name for o in outcomes}
+        assert any("Fig. 5" in n for n in names)
+        assert not any("Fig. 12" in n for n in names)
+
+    def test_holds_within_band(self):
+        outcomes = {o.claim.name: o for o in evaluate_claims(_fake_results())}
+        speedup = outcomes["AF-off speedup (Fig. 5)"]
+        assert speedup.measured == pytest.approx(1.4)
+        assert speedup.holds
+
+    def test_violation_detected(self):
+        results = _fake_results()
+        results["fig5"].rows[-1]["speedup"] = 5.0
+        outcomes = {o.claim.name: o for o in evaluate_claims(results)}
+        assert not outcomes["AF-off speedup (Fig. 5)"].holds
+
+    def test_missing_average_row_raises(self):
+        bad = {
+            "fig5": ExperimentResult(
+                experiment="fig5", title="t",
+                rows=[{"workload": "a", "speedup": 1.0}],
+            )
+        }
+        with pytest.raises(ExperimentError):
+            evaluate_claims(bad)
+
+    def test_claim_measure_requires_experiment(self):
+        claim = PAPER_CLAIMS[0]
+        with pytest.raises(ExperimentError):
+            claim.measure({})
+
+    def test_all_paper_claims_have_sane_bands(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.lo <= claim.hi
+            # Paper value must lie inside or near the acceptance band.
+            assert claim.lo <= claim.paper_value * 1.5 + 0.1
+
+
+class TestReport:
+    def test_report_contains_claims_and_tables(self):
+        text = build_report(_fake_results())
+        assert text.startswith("# PATU reproduction report")
+        assert "| AF-off speedup (Fig. 5) |" in text
+        assert "== fig19" in text
+
+    def test_run_all_rejects_unknown_ids(self):
+        ctx = ExperimentContext(scale=0.1, frames=1, workloads=("wolf-640x480",))
+        with pytest.raises(ExperimentError):
+            run_all(ctx, experiment_ids=("fig99",))
+
+    def test_run_all_static_subset(self):
+        ctx = ExperimentContext(scale=0.1, frames=1, workloads=("wolf-640x480",))
+        results = run_all(ctx, experiment_ids=("table1", "table2"))
+        assert set(results) == {"table1", "table2"}
+        text = build_report(results)
+        assert "Frequency" in text

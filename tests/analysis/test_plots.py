@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, line_chart
+from repro.errors import ReproError
+
+
+class TestLineChart:
+    def test_renders_title_and_legend(self):
+        text = line_chart(
+            [0, 1, 2], {"speedup": [1.0, 1.1, 1.2]}, title="Fig. 17"
+        )
+        assert text.startswith("Fig. 17")
+        assert "o speedup" in text
+
+    def test_marks_land_on_extremes(self):
+        text = line_chart([0.0, 1.0], {"y": [0.0, 1.0]}, width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line and "+" not in line]
+        # Lowest value in the bottom row, highest in the top row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_chart(
+            [0, 1], {"a": [0, 1], "b": [1, 0]}
+        )
+        assert "o a" in text and "x b" in text
+
+    def test_constant_series_handled(self):
+        text = line_chart([0, 1, 2], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {})
+        with pytest.raises(ReproError):
+            line_chart([0], {"a": [1]})
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"a": [1]})
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"a": [1, 2]}, width=5)
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart(["small", "large"], [1.0, 2.0], width=20)
+        small_line, large_line = text.splitlines()
+        assert small_line.count("#") * 2 == large_line.count("#")
+
+    def test_values_printed(self):
+        text = bar_chart(["x"], [1.234])
+        assert "1.234" in text
+
+    def test_baseline_marker(self):
+        text = bar_chart(["a"], [0.5], width=20, baseline=1.0)
+        assert ":" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [0.0])

@@ -1,0 +1,102 @@
+"""Tests for the ablation knobs: split thresholds and table capacity."""
+
+import numpy as np
+import pytest
+
+from repro.core.patu import PerceptionAwareTextureUnit
+from repro.core.predictor import TwoStagePredictor
+from repro.core.scenarios import AFSSIM_N_TXDS, PATU
+from repro.errors import ReproError
+
+
+class TestSplitThreshold:
+    def test_default_is_unified(self):
+        p = TwoStagePredictor(PATU, 0.4)
+        assert p.stage2_threshold == 0.4
+
+    def test_split_applies_to_stage2_only(self):
+        n = np.array([8, 8])
+        txds = np.array([0.5, 0.5])
+        # Unified 0.4: txds 0.5 -> AF_SSIM(Txds) ~ 0.64 > 0.4 -> approx.
+        unified = TwoStagePredictor(AFSSIM_N_TXDS, 0.4).predict(n, txds)
+        assert unified.stage2.all()
+        # Split with a strict stage-2 threshold: no stage-2 approximations.
+        strict = TwoStagePredictor(
+            AFSSIM_N_TXDS, 0.4, stage2_threshold=0.9
+        ).predict(n, txds)
+        assert not strict.stage2.any()
+        # Stage 1 unaffected by the split knob.
+        assert np.array_equal(unified.stage1, strict.stage1)
+
+    def test_loose_stage2_approximates_more(self):
+        n = np.array([8] * 10)
+        txds = np.linspace(0.1, 0.9, 10)
+        tight = TwoStagePredictor(AFSSIM_N_TXDS, 0.4, stage2_threshold=0.8)
+        loose = TwoStagePredictor(AFSSIM_N_TXDS, 0.4, stage2_threshold=0.1)
+        assert (
+            loose.predict(n, txds).approximated.sum()
+            >= tight.predict(n, txds).approximated.sum()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TwoStagePredictor(PATU, 0.4, stage2_threshold=1.5)
+
+
+class TestHashCapacity:
+    def _decide(self, entries, n, txds):
+        return PerceptionAwareTextureUnit(
+            PATU, 0.4, hash_entries=entries
+        ).decide(np.asarray(n), np.asarray(txds, dtype=float))
+
+    def test_full_table_is_default_behaviour(self):
+        full = self._decide(16, [8, 12, 16], [1.0, 1.0, 1.0])
+        assert full.prediction.approximated.all()
+
+    def test_overflowing_pixels_fall_back_to_af(self):
+        d = self._decide(8, [8, 12, 16], [1.0, 1.0, 1.0])
+        # N=8 fits an 8-entry table; N=12/16 overflow -> full AF.
+        assert d.prediction.approximated.tolist() == [True, False, False]
+        assert d.trilinear_samples.tolist() == [1, 12, 16]
+
+    def test_stage1_unaffected_by_capacity(self):
+        # N=2 is approximated at stage 1 regardless of the table.
+        d = self._decide(1, [2], [0.0])
+        assert d.prediction.stage1[0]
+        assert d.prediction.approximated[0]
+
+    def test_insertions_capped_at_capacity(self):
+        d = self._decide(4, [16], [0.0])
+        assert d.hash_insertions[0] == 4
+
+    def test_smaller_table_never_approximates_more(self):
+        rng = np.random.default_rng(31)
+        n = rng.integers(1, 17, 64)
+        txds = rng.random(64)
+        big = self._decide(16, n, txds)
+        small = self._decide(4, n, txds)
+        assert (
+            small.prediction.approximated.sum()
+            <= big.prediction.approximated.sum()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PerceptionAwareTextureUnit(PATU, 0.4, hash_entries=0)
+        with pytest.raises(ReproError):
+            PerceptionAwareTextureUnit(PATU, 0.4, hash_entries=32)
+
+
+class TestSessionIntegration:
+    def test_session_threads_knobs_through(self, session, capture):
+        from repro.core.scenarios import SCENARIOS
+
+        full = session.evaluate(capture, SCENARIOS["patu"], 0.4)
+        small = session.evaluate(
+            capture, SCENARIOS["patu"], 0.4, hash_entries=4
+        )
+        assert small.approximation_rate <= full.approximation_rate
+        split = session.evaluate(
+            capture, SCENARIOS["patu"], 0.4, stage2_threshold=0.99
+        )
+        assert split.approximation_rate <= full.approximation_rate

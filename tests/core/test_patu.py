@@ -1,0 +1,97 @@
+"""Tests for the PATU decision logic (Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.patu import FilterMode, PerceptionAwareTextureUnit
+from repro.core.scenarios import AFSSIM_N, AFSSIM_N_TXDS, BASELINE, PATU
+
+
+def _decide(scenario, threshold, n, txds):
+    return PerceptionAwareTextureUnit(scenario, threshold).decide(
+        np.asarray(n), np.asarray(txds, dtype=float)
+    )
+
+
+class TestFilterModes:
+    def test_baseline_runs_af_on_anisotropic_pixels(self):
+        d = _decide(BASELINE, 1.0, [4, 8], [0.5, 0.5])
+        assert (d.mode == FilterMode.AF).all()
+
+    def test_isotropic_pixels_are_plain_trilinear(self):
+        d = _decide(BASELINE, 1.0, [1], [1.0])
+        assert d.mode[0] == FilterMode.TF_TF_LOD
+        assert d.trilinear_samples[0] == 1
+
+    def test_patu_uses_af_lod_for_approximated_pixels(self):
+        d = _decide(PATU, 0.4, [2], [1.0])
+        assert d.mode[0] == FilterMode.TF_AF_LOD
+
+    def test_n_txds_uses_tf_lod_and_suffers_lod_shift(self):
+        d = _decide(AFSSIM_N_TXDS, 0.4, [2], [1.0])
+        assert d.mode[0] == FilterMode.TF_TF_LOD
+
+
+class TestWorkAccounting:
+    def test_af_pixel_filters_n_samples(self):
+        d = _decide(BASELINE, 1.0, [4, 7], [0.0, 0.0])
+        assert d.trilinear_samples.tolist() == [4, 7]
+        assert d.address_samples.tolist() == [4, 7]
+
+    def test_stage1_approximation_computes_one_address(self):
+        # N=2 is approximated at stage 1 under threshold 0.4: only the
+        # single TF sample's addresses are ever computed.
+        d = _decide(PATU, 0.4, [2], [0.0])
+        assert d.prediction.stage1[0]
+        assert d.address_samples[0] == 1
+        assert d.trilinear_samples[0] == 1
+
+    def test_stage2_approximation_pays_recalculation(self):
+        # N=8 survives stage 1, inserts into the hash table, gets
+        # approximated at stage 2 -> 8 computed + 1 recalculated.
+        d = _decide(PATU, 0.4, [8], [1.0])
+        assert d.prediction.stage2[0]
+        assert d.address_samples[0] == 9
+        assert d.trilinear_samples[0] == 1
+        assert d.hash_insertions[0] == 8
+
+    def test_af_pixel_still_inserts_into_hash_table(self):
+        # A pixel that fails both checks still went through stage 2.
+        d = _decide(PATU, 0.4, [8], [0.0])
+        assert not d.prediction.approximated[0]
+        assert d.hash_insertions[0] == 8
+        assert d.trilinear_samples[0] == 8
+
+    def test_stage1_approximated_pixels_skip_hash_table(self):
+        d = _decide(PATU, 0.4, [2], [0.0])
+        assert d.hash_insertions[0] == 0
+
+    def test_n_only_scenario_never_touches_hash_table(self):
+        d = _decide(AFSSIM_N, 0.4, [8, 2], [1.0, 1.0])
+        assert d.total_hash_insertions == 0
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=64),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_trilinear_work_never_exceeds_baseline(self, ns, threshold):
+        txds = np.linspace(0.0, 1.0, len(ns))
+        base = _decide(BASELINE, 1.0, ns, txds)
+        patu = _decide(PATU, threshold, ns, txds)
+        assert patu.total_trilinear <= base.total_trilinear
+        # Approximated pixels always filter exactly one sample.
+        approx = patu.prediction.approximated
+        assert (patu.trilinear_samples[approx] == 1).all()
+
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=64))
+    def test_address_work_at_least_trilinear_work(self, ns):
+        txds = np.full(len(ns), 0.5)
+        d = _decide(PATU, 0.4, ns, txds)
+        assert (d.address_samples >= d.trilinear_samples).all()
+
+
+class TestApproximationRate:
+    def test_rate_counts_approximated_fraction(self):
+        d = _decide(PATU, 0.4, [2, 2, 8, 8], [0.0, 0.0, 0.0, 0.0])
+        assert d.approximation_rate == pytest.approx(0.5)

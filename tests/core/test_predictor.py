@@ -1,0 +1,82 @@
+"""Tests for the two-stage prediction flow (Fig. 13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.predictor import TwoStagePredictor
+from repro.core.scenarios import AFSSIM_N, AFSSIM_N_TXDS, BASELINE
+from repro.errors import ReproError
+
+
+def _predict(scenario, threshold, n, txds):
+    return TwoStagePredictor(scenario, threshold).predict(
+        np.asarray(n), np.asarray(txds, dtype=float)
+    )
+
+
+class TestThresholdSemantics:
+    def test_baseline_never_approximates(self):
+        r = _predict(BASELINE, 0.0, [1, 4, 16], [1.0, 1.0, 1.0])
+        assert not r.approximated.any()
+
+    def test_threshold_zero_disables_af_everywhere(self):
+        # Every anisotropic pixel has AF_SSIM(N) > 0 -> all approximated.
+        r = _predict(AFSSIM_N, 0.0, [2, 3, 16], [0.0, 0.0, 0.0])
+        assert r.approximated.all()
+
+    def test_threshold_one_is_baseline(self):
+        # AF_SSIM is <= 1, never > 1 -> nothing approximated.
+        r = _predict(AFSSIM_N_TXDS, 1.0, [2, 3, 16], [1.0, 1.0, 1.0])
+        assert not r.approximated.any()
+
+    def test_isotropic_pixels_bypass_checks(self):
+        # N == 1 pixels never need AF so they never count as approximated.
+        r = _predict(AFSSIM_N_TXDS, 0.0, [1, 1], [0.0, 1.0])
+        assert not r.approximated.any()
+
+    def test_stage1_cut_at_0_4_keeps_n_3_and_above(self):
+        # AF_SSIM(2) ~ 0.64 > 0.4 but AF_SSIM(3) ~ 0.36 < 0.4.
+        r = _predict(AFSSIM_N, 0.4, [2, 3], [0.0, 0.0])
+        assert r.stage1.tolist() == [True, False]
+
+
+class TestStageInteraction:
+    def test_stage2_only_fires_for_stage1_survivors(self):
+        r = _predict(AFSSIM_N_TXDS, 0.4, [2, 8, 8], [1.0, 1.0, 0.0])
+        assert r.stage1.tolist() == [True, False, False]
+        assert r.stage2.tolist() == [False, True, False]
+        assert r.approximated.tolist() == [True, True, False]
+
+    def test_stages_are_disjoint(self):
+        r = _predict(AFSSIM_N_TXDS, 0.3, [2, 4, 8, 16], [0.9, 0.8, 0.2, 0.95])
+        assert not (r.stage1 & r.stage2).any()
+
+    def test_stage2_disabled_for_n_only_scenario(self):
+        r = _predict(AFSSIM_N, 0.4, [8, 8], [1.0, 1.0])
+        assert not r.stage2.any()
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_approximation_monotone_in_threshold(self, n, txds, threshold):
+        lo = _predict(AFSSIM_N_TXDS, threshold, [n], [txds])
+        hi = _predict(AFSSIM_N_TXDS, min(threshold + 0.3, 1.0), [n], [txds])
+        # Raising the threshold can only turn approximation OFF.
+        assert lo.approximated[0] or not hi.approximated[0]
+
+
+class TestValidation:
+    def test_rejects_out_of_range_threshold(self):
+        with pytest.raises(ReproError):
+            TwoStagePredictor(AFSSIM_N, 1.5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            _predict(AFSSIM_N, 0.4, [2, 3], [0.5])
+
+    def test_approximation_rate_empty_input(self):
+        r = _predict(AFSSIM_N, 0.4, [], [])
+        assert r.approximation_rate == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the design-scenario matrix."""
+
+import pytest
+
+from repro.core.scenarios import (
+    AFSSIM_N,
+    AFSSIM_N_TXDS,
+    BASELINE,
+    PATU,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+from repro.errors import ReproError
+
+
+def test_paper_presentation_order():
+    assert list(SCENARIOS) == ["baseline", "afssim_n", "afssim_n_txds", "patu"]
+
+
+def test_baseline_never_approximates():
+    assert not BASELINE.approximates
+    assert not BASELINE.use_stage1
+    assert not BASELINE.use_stage2
+    assert not BASELINE.lod_reuse
+
+
+def test_afssim_n_is_stage1_only():
+    assert AFSSIM_N.use_stage1
+    assert not AFSSIM_N.use_stage2
+    assert not AFSSIM_N.lod_reuse  # suffers the Fig. 15 LOD shift
+
+
+def test_combined_design_adds_stage2():
+    assert AFSSIM_N_TXDS.use_stage1 and AFSSIM_N_TXDS.use_stage2
+    assert not AFSSIM_N_TXDS.lod_reuse
+
+
+def test_patu_is_full_design():
+    assert PATU.use_stage1 and PATU.use_stage2 and PATU.lod_reuse
+
+
+def test_stage2_requires_stage1():
+    # Fig. 13: pixels reach the hash table only after stage 1 passes.
+    with pytest.raises(ReproError):
+        Scenario(name="bad", label="bad", use_stage1=False, use_stage2=True,
+                 lod_reuse=False)
+
+
+def test_lod_reuse_requires_approximation():
+    with pytest.raises(ReproError):
+        Scenario(name="bad", label="bad", use_stage1=False, use_stage2=False,
+                 lod_reuse=True)
+
+
+def test_lookup_by_name():
+    assert get_scenario("patu") is PATU
+
+
+def test_lookup_unknown_name_is_helpful():
+    with pytest.raises(ReproError, match="unknown scenario"):
+        get_scenario("PATU")  # names are case-sensitive

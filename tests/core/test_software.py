@@ -1,0 +1,86 @@
+"""Tests for the Section III software-approximation alternative."""
+
+import numpy as np
+import pytest
+
+from repro.core.patu import FilterMode
+from repro.core.software import SOFTWARE, software_decision
+from repro.errors import ReproError
+
+
+class TestScenarioTag:
+    def test_software_has_no_hardware_stages(self):
+        assert not SOFTWARE.use_stage1
+        assert not SOFTWARE.use_stage2
+        assert not SOFTWARE.lod_reuse
+        assert SOFTWARE.name == "software"
+
+
+class TestGroupDecision:
+    def test_whole_group_decided_together(self):
+        tex = np.array([0, 0, 0, 1, 1, 1])
+        n = np.array([2, 2, 16, 2, 2, 2])
+        # Group 0 mean AF_SSIM over {2,2,16} ~ 0.43; group 1 (all 2s) 0.64.
+        d = software_decision(tex, n, threshold=0.5)
+        assert d.prediction.approximated.tolist() == [
+            False, False, False, True, True, True,
+        ]
+
+    def test_coarseness_drags_perceivable_pixels_along(self):
+        # The paper's granularity complaint: one N=16 pixel inside an
+        # otherwise-isotropic draw call loses its AF when the group
+        # average passes.
+        tex = np.zeros(8, dtype=np.int64)
+        n = np.array([2, 2, 2, 2, 2, 2, 2, 16])
+        d = software_decision(tex, n, threshold=0.4)
+        assert d.prediction.approximated[-1]
+        assert d.trilinear_samples[-1] == 1  # its AF was skipped
+
+    def test_no_lod_reuse_available(self):
+        tex = np.zeros(3, dtype=np.int64)
+        n = np.array([4, 4, 4])
+        d = software_decision(tex, n, threshold=0.9)
+        assert not (d.mode == FilterMode.TF_AF_LOD).any()
+
+    def test_no_hash_table_or_recalculation_costs(self):
+        tex = np.zeros(4, dtype=np.int64)
+        n = np.array([8, 8, 8, 8])
+        d = software_decision(tex, n, threshold=0.0)
+        assert d.total_hash_insertions == 0
+        assert np.array_equal(d.address_samples, d.trilinear_samples)
+
+    def test_threshold_extremes(self):
+        tex = np.array([0, 1])
+        n = np.array([4, 8])
+        everything = software_decision(tex, n, threshold=0.0)
+        nothing = software_decision(tex, n, threshold=1.0)
+        assert everything.prediction.approximated.all()
+        assert not nothing.prediction.approximated.any()
+
+    def test_isotropic_pixels_not_counted(self):
+        tex = np.zeros(2, dtype=np.int64)
+        n = np.array([1, 1])
+        d = software_decision(tex, n, threshold=0.0)
+        assert not d.prediction.approximated.any()
+        assert (d.mode == FilterMode.TF_TF_LOD).all()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            software_decision(np.zeros(2), np.ones(2), threshold=2.0)
+        with pytest.raises(ReproError):
+            software_decision(np.zeros(3), np.ones(2), threshold=0.5)
+
+
+class TestOperatingPointCount:
+    def test_software_points_bounded_by_group_count(self):
+        rng = np.random.default_rng(9)
+        tex = rng.integers(0, 4, 128)
+        n = rng.integers(1, 17, 128)
+        signatures = set()
+        for t in np.arange(0.0, 1.001, 0.02):
+            d = software_decision(tex, n, float(t))
+            signatures.add(tuple(sorted(
+                int(g) for g in np.unique(tex[d.prediction.approximated])
+            )))
+        # At most one new operating point per draw call, plus "none".
+        assert len(signatures) <= 4 + 1

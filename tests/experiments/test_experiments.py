@@ -1,0 +1,181 @@
+"""Smoke + shape tests for every experiment module on a small context.
+
+These verify that each table/figure reproduction runs end-to-end and
+that the *structural* paper claims hold even on a tiny configuration
+(two workloads, one frame, 1/16 scale). The full-size runs live in
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig03_sharpness,
+    fig04_rbench,
+    fig05_af_off,
+    fig06_bandwidth,
+    fig07_quality,
+    fig08_ssim_map,
+    fig12_sharing,
+    fig15_lod_shift,
+    fig17_threshold,
+    fig18_latency,
+    fig19_speedup_quality,
+    fig20_energy,
+    fig21_cache,
+    fig22_user_study,
+    sec5c_divergence,
+    sec5d_overhead,
+    table1_config,
+    table2_benchmarks,
+)
+from repro.experiments.runner import ExperimentContext, format_table
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        scale=0.1,
+        frames=1,
+        workloads=("HL2-1600x1200", "doom3-1280x1024"),
+    )
+
+
+class TestStaticTables:
+    def test_table1_has_all_rows(self):
+        result = table1_config.run()
+        params = [r["parameter"] for r in result.rows]
+        assert "Frequency" in params and "Memory configuration" in params
+        assert len(result.rows) == 10
+
+    def test_table2_lists_eleven_configs(self):
+        result = table2_benchmarks.run()
+        assert len(result.rows) == 11
+        assert {r["library"] for r in result.rows} == {"DirectX3D", "OpenGL"}
+
+
+class TestMotivationExperiments:
+    def test_fig5_af_off_speeds_up(self, ctx):
+        result = fig05_af_off.run(ctx)
+        avg = result.rows[-1]
+        assert avg["workload"] == "average"
+        assert avg["speedup"] > 1.0
+        assert 0.0 < avg["energy_reduction"] < 1.0
+
+    def test_fig6_texture_dominates_bandwidth(self, ctx):
+        result = fig06_bandwidth.run(ctx)
+        on_rows = [r for r in result.rows if r["mode"] == "AF-on"]
+        off_rows = [r for r in result.rows if r["mode"] == "AF-off"]
+        for on, off in zip(on_rows, off_rows):
+            assert on["texture"] > 0.4  # texture is the dominant share
+            assert on["total"] == pytest.approx(1.0)
+            assert off["total"] < on["total"]  # AF-off cuts traffic
+            assert off["texture"] < on["texture"]
+
+    def test_fig7_quality_loss_positive(self, ctx):
+        result = fig07_quality.run(ctx)
+        for row in result.rows:
+            assert 0.0 < row["quality_loss"] < 0.5
+
+    def test_fig8_more_than_half_pixels_unaffected(self, ctx):
+        result = fig08_ssim_map.run(ctx)
+        row = result.rows[0]
+        assert row["frac_pixels_ssim>=0.9"] > 0.5
+        images = result.images
+        assert images["ssim_map"].shape == images["af_on"].shape
+
+    def test_fig12_majority_sharing(self, ctx):
+        result = fig12_sharing.run(ctx)
+        avg = result.rows[-1]["sharing_fraction"]
+        assert 0.35 < avg < 0.85  # paper: 62%
+
+    def test_fig3_af_sharper_on_oblique(self, ctx):
+        result = fig03_sharpness.run(ctx)
+        for row in result.rows:
+            assert row["sharpness_gain_oblique"] > 1.0
+
+    def test_fig15_lod_reuse_recovers_detail(self, ctx):
+        result = fig15_lod_shift.run(ctx)
+        avg = result.rows[-1]
+        assert avg["sharpness_vs_af_shift"] < avg["sharpness_vs_af_reuse"]
+        assert avg["mssim_lod_reuse"] >= avg["mssim_lod_shift"] - 0.01
+
+
+class TestMainResults:
+    def test_fig17_tradeoff_shape(self, ctx):
+        result = fig17_threshold.run(ctx)
+        hl2 = [r for r in result.rows if r["workload"] == "HL2-1600x1200"]
+        by_t = {r["threshold"]: r for r in hl2}
+        # X-shape: speedup falls and quality rises with the threshold.
+        assert by_t[0.0]["speedup"] >= by_t[1.0]["speedup"]
+        assert by_t[0.0]["mssim"] <= by_t[1.0]["mssim"] + 1e-9
+        assert by_t[1.0]["mssim"] == pytest.approx(1.0)
+        # BP is recorded for every workload plus the average.
+        assert set(result.best_points) == {
+            "HL2-1600x1200", "doom3-1280x1024", "average",
+        }
+
+    def test_fig18_approximation_cuts_latency(self, ctx):
+        result = fig18_latency.run(ctx)
+        avg = result.rows[-1]
+        assert avg["baseline"] == pytest.approx(1.0)
+        assert avg["afssim_n_txds"] <= avg["afssim_n"] + 1e-9
+        assert avg["patu"] < 1.0
+
+    def test_fig19_scenario_ordering(self, ctx):
+        result = fig19_speedup_quality.run(ctx)
+        avg = result.rows[-1]
+        # N+Txds is the fastest approximation; PATU recovers quality
+        # above N+Txds at a small performance cost.
+        assert avg["afssim_n_txds_speedup"] >= avg["afssim_n_speedup"] - 1e-9
+        assert avg["patu_mssim"] > avg["afssim_n_txds_mssim"]
+        assert avg["baseline_mssim"] == pytest.approx(1.0)
+
+    def test_fig20_energy_ordering(self, ctx):
+        result = fig20_energy.run(ctx)
+        avg = result.rows[-1]
+        assert avg["baseline"] == pytest.approx(1.0)
+        assert avg["patu"] < 1.0
+        # PATU pays slightly more energy than N+Txds for LOD reuse.
+        assert avg["patu"] >= avg["afssim_n_txds"] - 1e-9
+
+    def test_fig21_patu_orthogonal_to_capacity(self, ctx):
+        result = fig21_cache.run(ctx)
+        avg = result.rows[-1]
+        assert avg["1x"] == pytest.approx(1.0)
+        for label in ("1x", "2xLLC", "4xLLC", "2xTC+4xLLC"):
+            assert avg[f"{label}+PATU"] > avg[label]  # PATU helps everywhere
+
+    def test_sec5c_divergence_is_rare(self, ctx):
+        result = sec5c_divergence.run(ctx)
+        assert result.rows[-1]["quad_divergence"] < 0.05
+
+    def test_sec5d_overhead_rows(self):
+        result = sec5d_overhead.run()
+        values = {r["quantity"]: r["value"] for r in result.rows}
+        assert values["bits per entry"] == 260
+        assert values["SRAM per texture unit (KB)"] == pytest.approx(2.03)
+
+
+class TestUserFacing:
+    def test_fig4_af_off_improves_fps(self, ctx):
+        result = fig04_rbench.run(ctx)
+        for row in result.rows:
+            assert row["fps_af_off"] > row["fps_af_on"]
+        res_4k = [r["improvement"] for r in result.rows if r["resolution"] == "4K"]
+        res_2k = [r["improvement"] for r in result.rows if r["resolution"] == "2K"]
+        assert np.mean(res_4k) > 0 and np.mean(res_2k) > 0
+
+    def test_fig22_intermediate_threshold_wins(self, ctx):
+        result = fig22_user_study.run(ctx)
+        for name, best in result.preferred.items():
+            assert 0.0 <= best <= 1.0
+        # Scores exist for every (workload, threshold) pair.
+        assert len(result.rows) == len(fig22_user_study.WORKLOADS) * len(
+            fig22_user_study.THRESHOLDS
+        )
+
+    def test_format_table_renders_every_experiment(self, ctx):
+        for module in (fig05_af_off, fig12_sharing, sec5d_overhead):
+            text = format_table(module.run(ctx))
+            assert text.startswith("== ")

@@ -1,0 +1,110 @@
+"""Tests for the extension and ablation experiments."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    ablation_hash_entries,
+    ablation_max_aniso,
+    ablation_split_threshold,
+    ext_software,
+    ext_vr,
+)
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        scale=0.08, frames=1, workloads=("doom3-1280x1024",)
+    )
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig12", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+            "sec5c", "sec5d",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_extensions_registered(self):
+        for exp_id in ("ext_vr", "ext_compression", "ext_software",
+                       "ablation_split_threshold",
+                       "ablation_hash_entries", "ablation_max_aniso"):
+            assert exp_id in REGISTRY
+            assert hasattr(REGISTRY[exp_id], "run")
+            assert hasattr(REGISTRY[exp_id], "TITLE")
+
+
+class TestSoftwareExtension:
+    def test_granularity_gap(self, ctx):
+        result = ext_software.run(ctx)
+        for row in result.rows:
+            assert row["hw_operating_points"] > row["sw_operating_points"]
+            assert row["sw_operating_points"] <= row["draw_calls"] + 1
+            # Compute-bound workloads can dip marginally below 1.0
+            # (predictor overhead with no memory bottleneck to relieve).
+            assert row["hw_speedup_at_target"] >= 0.98
+            assert row["sw_speedup_at_target"] >= 0.98
+
+
+class TestVrExtension:
+    def test_eyes_agree(self, ctx):
+        result = ext_vr.run(ctx)
+        for row in result.rows:
+            assert row["left_approx"] == pytest.approx(
+                row["right_approx"], abs=0.1
+            )
+            assert row["left_speedup"] == pytest.approx(
+                row["right_speedup"], rel=0.15
+            )
+            assert 0.8 < row["mssim"] <= 1.0
+
+
+class TestSplitThresholdAblation:
+    def test_unified_is_near_optimal(self, ctx):
+        result = ablation_split_threshold.run(ctx)
+        for name in ablation_split_threshold.WORKLOADS:
+            rows = [r for r in result.rows if r["workload"] == name]
+            best_split = max(r["metric"] for r in rows)
+            best_unified = max(
+                r["metric"] for r in rows
+                if r["stage1_threshold"] == r["stage2_threshold"]
+            )
+            # The unified diagonal forfeits at most a few percent.
+            assert best_unified >= 0.95 * best_split
+
+    def test_grid_is_complete(self, ctx):
+        result = ablation_split_threshold.run(ctx)
+        grid = len(ablation_split_threshold.GRID)
+        per_workload = grid * grid
+        assert len(result.rows) == per_workload * len(
+            ablation_split_threshold.WORKLOADS
+        )
+
+
+class TestHashEntriesAblation:
+    def test_capacity_monotone(self, ctx):
+        result = ablation_hash_entries.run(ctx)
+        by_entries = {r["entries"]: r for r in result.rows}
+        assert (
+            by_entries[4]["approximation_rate"]
+            <= by_entries[8]["approximation_rate"]
+            <= by_entries[16]["approximation_rate"]
+        )
+        # SRAM cost scales linearly with entries.
+        assert by_entries[16]["sram_kb_per_unit"] == pytest.approx(
+            4 * by_entries[4]["sram_kb_per_unit"], abs=0.02
+        )
+
+
+class TestMaxAnisoAblation:
+    def test_anisotropy_grows_with_cap(self, ctx):
+        result = ablation_max_aniso.run(ctx)
+        by_level = {r["max_aniso"]: r for r in result.rows}
+        assert by_level[4]["mean_n"] <= by_level[8]["mean_n"] <= by_level[16]["mean_n"]
+        # Capping AF costs baseline quality vs the 16x reference.
+        assert by_level[4]["baseline_quality_vs_16x"] <= 1.0
+        assert by_level[16]["baseline_quality_vs_16x"] == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Tests for the experiment runner infrastructure."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    DEFAULT_WORKLOADS,
+    ExperimentContext,
+    ExperimentResult,
+    format_table,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        scale=0.0625, frames=1, workloads=("wolf-640x480",)
+    )
+
+
+class TestContext:
+    def test_default_workload_list_is_table2(self):
+        assert len(DEFAULT_WORKLOADS) == 11
+        assert DEFAULT_WORKLOADS[0] == "HL2-1600x1200"
+
+    def test_captures_are_cached(self, ctx):
+        a = ctx.capture("wolf-640x480", 0)
+        b = ctx.capture("wolf-640x480", 0)
+        assert a is b
+
+    def test_results_are_cached(self, ctx):
+        a = ctx.result("wolf-640x480", 0, "baseline", 1.0)
+        b = ctx.result("wolf-640x480", 0, "baseline", 1.0)
+        assert a is b
+
+    def test_distinct_design_points_distinct_results(self, ctx):
+        a = ctx.result("wolf-640x480", 0, "patu", 0.2)
+        b = ctx.result("wolf-640x480", 0, "patu", 0.8)
+        assert a is not b
+        assert a.approximation_rate >= b.approximation_rate
+
+    def test_cache_scaled_sessions_are_reused(self, ctx):
+        ctx.result("wolf-640x480", 0, "baseline", 1.0, llc_scale=2)
+        assert (2, 1) in ctx._alt_sessions
+        session = ctx._alt_sessions[(2, 1)]
+        ctx.result("wolf-640x480", 0, "patu", 0.4, llc_scale=2)
+        assert ctx._alt_sessions[(2, 1)] is session
+
+    def test_larger_llc_never_more_dram_traffic(self, ctx):
+        base = ctx.result("wolf-640x480", 0, "baseline", 1.0)
+        big = ctx.result("wolf-640x480", 0, "baseline", 1.0, llc_scale=4)
+        assert big.hierarchy.dram_bytes <= base.hierarchy.dram_bytes
+
+    def test_mean_over_frames_keys(self, ctx):
+        m = ctx.mean_over_frames("wolf-640x480", "baseline", 1.0)
+        for key in ("cycles", "mssim", "energy_nj", "request_latency", "fps"):
+            assert key in m
+        assert m["mssim"] == 1.0
+
+    def test_rbench_workloads_resolve(self, ctx):
+        wl = ctx.workload("R.Bench-2K")
+        assert wl.width == 2560
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ExperimentError):
+            ExperimentContext(frames=0)
+
+
+class TestFormatTable:
+    def test_formats_rows_aligned(self):
+        result = ExperimentResult(
+            experiment="x", title="T",
+            rows=[{"a": 1, "speed": 1.2345}, {"a": 22, "speed": 0.5}],
+            notes="note",
+        )
+        text = format_table(result)
+        assert "== x: T ==" in text
+        assert "1.234" in text  # floats at 3 decimals
+        assert text.endswith("note\n")
+
+    def test_empty_rows(self):
+        text = format_table(ExperimentResult(experiment="x", title="T", rows=[]))
+        assert "(no rows)" in text
+
+    def test_column_accessor(self):
+        result = ExperimentResult(
+            experiment="x", title="T", rows=[{"a": 1}, {"a": 2}]
+        )
+        assert result.column("a") == [1, 2]

@@ -1,0 +1,48 @@
+"""Tests for the context's frame aggregation arithmetic."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx2():
+    return ExperimentContext(
+        scale=0.0625, frames=2, workloads=("wolf-640x480",)
+    )
+
+
+class TestMeanOverFrames:
+    def test_mean_equals_average_of_frames(self, ctx2):
+        mean = ctx2.mean_over_frames("wolf-640x480", "baseline", 1.0)
+        r0 = ctx2.result("wolf-640x480", 0, "baseline", 1.0)
+        r1 = ctx2.result("wolf-640x480", 1, "baseline", 1.0)
+        assert mean["cycles"] == pytest.approx(
+            (r0.frame_cycles + r1.frame_cycles) / 2
+        )
+        assert mean["energy_nj"] == pytest.approx(
+            (r0.total_energy_nj + r1.total_energy_nj) / 2
+        )
+        assert mean["mssim"] == pytest.approx((r0.mssim + r1.mssim) / 2)
+
+    def test_distinct_frames_rendered(self, ctx2):
+        a = ctx2.capture("wolf-640x480", 0)
+        b = ctx2.capture("wolf-640x480", 1)
+        assert a is not b
+        # The camera moved, so the captures genuinely differ.
+        assert a.num_pixels != b.num_pixels or a.n.sum() != b.n.sum()
+
+    def test_bandwidth_categories_sum_to_total(self, ctx2):
+        mean = ctx2.mean_over_frames("wolf-640x480", "patu", 0.4)
+        parts = (
+            mean["texture_bytes"] + mean["color_bytes"]
+            + mean["depth_bytes"] + mean["geometry_bytes"]
+        )
+        assert parts == pytest.approx(mean["total_bytes"])
+
+    def test_cache_scaled_points_are_separate_entries(self, ctx2):
+        base = ctx2.mean_over_frames("wolf-640x480", "baseline", 1.0)
+        scaled = ctx2.mean_over_frames(
+            "wolf-640x480", "baseline", 1.0, llc_scale=4
+        )
+        assert scaled["dram_bytes"] <= base["dram_bytes"]

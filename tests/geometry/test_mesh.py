@@ -1,0 +1,109 @@
+"""Tests for meshes and the quad/box constructors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import Mesh, VertexBuffer, make_box, make_quad
+
+
+def _unit_quad(**kwargs):
+    corners = np.array(
+        [[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]], dtype=np.float64
+    )
+    return make_quad(corners, "tex", **kwargs)
+
+
+class TestVertexBuffer:
+    def test_lengths_must_match(self):
+        with pytest.raises(GeometryError):
+            VertexBuffer(positions=np.zeros((3, 3)), uvs=np.zeros((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(GeometryError):
+            VertexBuffer(positions=np.zeros((3, 2)), uvs=np.zeros((3, 2)))
+
+
+class TestMesh:
+    def test_index_bounds_checked(self):
+        vb = VertexBuffer(positions=np.zeros((3, 3)), uvs=np.zeros((3, 2)))
+        with pytest.raises(GeometryError):
+            Mesh(vertices=vb, indices=np.array([[0, 1, 3]]), texture="t")
+
+    def test_texture_required(self):
+        vb = VertexBuffer(positions=np.zeros((3, 3)), uvs=np.zeros((3, 2)))
+        with pytest.raises(GeometryError):
+            Mesh(vertices=vb, indices=np.array([[0, 1, 2]]), texture="")
+
+    def test_uv_scale_applies_to_triangle_uvs(self):
+        mesh = _unit_quad(uv_scale=8.0)
+        assert mesh.triangle_uvs().max() == pytest.approx(8.0)
+
+    def test_uv_scale_must_be_positive(self):
+        with pytest.raises(GeometryError):
+            _unit_quad(uv_scale=0.0)
+
+
+class TestMakeQuad:
+    def test_simple_quad_has_two_triangles(self):
+        mesh = _unit_quad()
+        assert mesh.num_triangles == 2
+        assert mesh.num_vertices == 4
+
+    def test_subdivision_counts(self):
+        mesh = _unit_quad(subdivisions=4)
+        assert mesh.num_triangles == 2 * 16
+        assert mesh.num_vertices == 25
+
+    def test_subdivided_quad_preserves_corners(self):
+        corners = np.array(
+            [[-3, 0, 2], [5, 0, 2], [5, 0, -9], [-3, 0, -9]], dtype=np.float64
+        )
+        mesh = make_quad(corners, "t", subdivisions=3)
+        pos = mesh.vertices.positions
+        for corner in corners:
+            assert np.min(np.linalg.norm(pos - corner, axis=1)) < 1e-12
+
+    def test_uvs_span_unit_square(self):
+        mesh = _unit_quad(subdivisions=2)
+        uvs = mesh.vertices.uvs
+        assert uvs.min() == pytest.approx(0.0)
+        assert uvs.max() == pytest.approx(1.0)
+
+    def test_triangle_winding_is_consistent(self):
+        mesh = _unit_quad(subdivisions=2)
+        tris = mesh.triangle_positions()
+        normals = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        # A flat quad in the XY plane: all normals point the same way.
+        assert np.all(normals[:, 2] > 0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(GeometryError):
+            make_quad(np.zeros((3, 3)), "t")
+        with pytest.raises(GeometryError):
+            _unit_quad(subdivisions=0)
+
+
+class TestMakeBox:
+    def test_box_has_twelve_triangles(self):
+        box = make_box((0, 0, 0), (2, 2, 2), "t")
+        assert box.num_triangles == 12
+        assert box.num_vertices == 24  # 4 per face, faces unshared for UVs
+
+    def test_box_extents(self):
+        box = make_box((1, 2, 3), (2, 4, 6), "t")
+        pos = box.vertices.positions
+        assert pos.min(axis=0) == pytest.approx([0, 0, 0])
+        assert pos.max(axis=0) == pytest.approx([2, 4, 6])
+
+    def test_box_normals_point_outward(self):
+        box = make_box((0, 0, 0), (2, 2, 2), "t")
+        tris = box.triangle_positions()
+        centers = tris.mean(axis=1)
+        normals = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        # Outward: normal aligns with the center-to-face direction.
+        assert np.all(np.einsum("ij,ij->i", normals, centers) > 0)
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(GeometryError):
+            make_box((0, 0, 0), (0, 1, 1), "t")

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the public API exactly as the README quickstart does,
+on real (but small-scale) Table II workloads, and assert the paper's
+headline *relationships* hold end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BASELINE_CONFIG,
+    RenderSession,
+    SCENARIOS,
+    get_workload,
+    workload_names,
+)
+from repro.replay.vsync import VsyncSimulator, nominal_frame_cycles
+from repro.study.users import UserStudy
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    return RenderSession(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def hl2_capture(small_session):
+    return small_session.capture_frame(get_workload("HL2-1600x1200"), 0)
+
+
+class TestQuickstartFlow:
+    def test_readme_quickstart(self, small_session, hl2_capture):
+        result = small_session.evaluate(hl2_capture, SCENARIOS["patu"], 0.4)
+        assert 0.85 < result.mssim <= 1.0
+        assert 0.0 < result.approximation_rate < 1.0
+        assert result.fps > 0
+
+    def test_all_game_workloads_render(self, small_session):
+        # One frame of every Table II configuration goes through the
+        # full pipeline without error.
+        for name in workload_names():
+            capture = small_session.capture_frame(get_workload(name), 0)
+            assert capture.num_pixels > 0
+            assert capture.mean_anisotropy >= 1.0
+
+
+class TestHeadlineClaims:
+    """The paper's core result chain on one workload."""
+
+    def _eval(self, session, capture, scenario, threshold):
+        return session.evaluate(capture, SCENARIOS[scenario], threshold)
+
+    def test_af_off_fast_but_ugly_patu_balanced(self, small_session, hl2_capture):
+        base = self._eval(small_session, hl2_capture, "baseline", 1.0)
+        off = self._eval(small_session, hl2_capture, "afssim_n", 0.0)
+        patu = self._eval(small_session, hl2_capture, "patu", 0.4)
+        # AF-off is fastest but lowest quality.
+        assert off.frame_cycles <= patu.frame_cycles <= base.frame_cycles
+        assert off.mssim < patu.mssim <= 1.0
+
+    def test_patu_reduces_texture_work_not_correctness(
+        self, small_session, hl2_capture
+    ):
+        base = self._eval(small_session, hl2_capture, "baseline", 1.0)
+        patu = self._eval(small_session, hl2_capture, "patu", 0.4)
+        assert patu.events.trilinear_samples < base.events.trilinear_samples
+        assert patu.hierarchy.dram_bytes <= base.hierarchy.dram_bytes
+        assert patu.energy.total_nj < base.energy.total_nj
+
+    def test_resolution_trend(self, small_session):
+        """Higher resolution -> more texture work -> more PATU benefit
+        (Section VII-B: 'PATU provides more speedup for applications
+        with higher resolution')."""
+        speedups = {}
+        for name in ("HL2-1600x1200", "HL2-640x480"):
+            capture = small_session.capture_frame(get_workload(name), 0)
+            base = self._eval(small_session, capture, "baseline", 1.0)
+            patu = self._eval(small_session, capture, "patu", 0.4)
+            speedups[name] = base.frame_cycles / patu.frame_cycles
+        assert speedups["HL2-1600x1200"] >= speedups["HL2-640x480"]
+
+    def test_replay_to_user_study_pipeline(self, small_session):
+        """Full Section VI/VII-D flow: frames -> vsync replay -> scores."""
+        wl = get_workload("doom3-640x480")
+        study = UserStudy()
+        vsync = VsyncSimulator()
+        scores = {}
+        for threshold, scenario in ((0.0, "afssim_n"), (0.4, "patu"),
+                                    (1.0, "baseline")):
+            cycles = []
+            quality = 0.0
+            for frame in range(3):
+                capture = small_session.capture_frame(wl, frame)
+                r = small_session.evaluate(capture, SCENARIOS[scenario], threshold)
+                cycles.append(nominal_frame_cycles(r.frame_cycles, small_session.scale))
+                quality += r.mssim / 3
+            stats = vsync.replay(cycles)
+            scores[threshold] = study.evaluate(
+                quality, stats.average_fps, stats.lag_fraction
+            ).mean_score
+        assert all(1.0 <= s <= 5.0 for s in scores.values())
+
+
+class TestCrossConfigConsistency:
+    def test_same_capture_under_bigger_caches_is_never_slower(
+        self, small_session, hl2_capture
+    ):
+        big = RenderSession(
+            BASELINE_CONFIG.scaled(texture_l2=4), scale=small_session.scale
+        )
+        base = small_session.evaluate(hl2_capture, SCENARIOS["baseline"], 1.0)
+        scaled = big.evaluate(hl2_capture, SCENARIOS["baseline"], 1.0)
+        assert scaled.hierarchy.dram_bytes <= base.hierarchy.dram_bytes
+        assert scaled.frame_cycles <= base.frame_cycles + 1e-6
+
+    def test_events_add_up_across_scenarios(self, small_session, hl2_capture):
+        for name, threshold in (
+            ("baseline", 1.0), ("afssim_n", 0.4),
+            ("afssim_n_txds", 0.4), ("patu", 0.4),
+        ):
+            r = small_session.evaluate(hl2_capture, SCENARIOS[name], threshold)
+            assert r.events.l1_accesses == r.hierarchy.l1.accesses
+            assert r.events.l2_accesses == r.hierarchy.l2.accesses
+            assert r.events.dram_lines == r.hierarchy.dram.lines_fetched
+            assert r.events.address_samples >= r.events.trilinear_samples

@@ -1,0 +1,112 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.memsys.cache import CacheSim, collapse_consecutive
+
+
+def _tiny_cache(sets=4, ways=2):
+    return CacheSim(CacheConfig(size_bytes=sets * ways * 64, ways=ways))
+
+
+class TestCollapseConsecutive:
+    def test_removes_only_adjacent_duplicates(self):
+        stream = np.array([1, 1, 2, 2, 2, 1, 3])
+        collapsed, dropped = collapse_consecutive(stream)
+        assert collapsed.tolist() == [1, 2, 1, 3]
+        assert dropped == 3
+
+    def test_empty_stream(self):
+        collapsed, dropped = collapse_consecutive(np.array([], dtype=np.int64))
+        assert collapsed.size == 0 and dropped == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=64))
+    def test_collapse_is_exact_for_lru(self, stream):
+        """Collapsing adjacent duplicates must not change miss behaviour."""
+        arr = np.asarray(stream, dtype=np.int64)
+        plain = _tiny_cache()
+        misses_plain = plain.access(arr)
+        # A second simulator fed the pre-collapsed stream.
+        pre, _ = collapse_consecutive(arr)
+        collapsed_sim = _tiny_cache()
+        misses_collapsed = collapsed_sim.access(pre)
+        assert misses_plain.tolist() == misses_collapsed.tolist()
+
+
+class TestLruBehaviour:
+    def test_cold_miss_then_hit(self):
+        sim = _tiny_cache()
+        assert sim.access(np.array([100])).tolist() == [100]
+        assert sim.access(np.array([100])).size == 0
+        assert sim.stats.hits == 1
+        assert sim.stats.misses == 1
+
+    def test_capacity_eviction_is_lru(self):
+        sim = _tiny_cache(sets=1, ways=2)
+        # Fill the single set with A, B; touch A; insert C -> evicts B.
+        sim.access(np.array([0, 4, 0, 8]))
+        misses = sim.access(np.array([4]))
+        assert misses.tolist() == [4]  # B was the LRU victim
+
+    def test_lru_order_updates_on_hit(self):
+        sim = _tiny_cache(sets=1, ways=2)
+        sim.access(np.array([0, 4]))  # A, B resident
+        sim.access(np.array([0]))  # touch A -> B is LRU
+        sim.access(np.array([8]))  # C evicts B
+        assert sim.access(np.array([0])).size == 0  # A still resident
+        assert sim.access(np.array([4])).tolist() == [4]  # B gone
+
+    def test_sets_are_independent(self):
+        sim = _tiny_cache(sets=4, ways=1)
+        # Addresses 0..3 map to distinct sets -> all resident at once.
+        sim.access(np.arange(4))
+        assert sim.access(np.arange(4)).size == 0
+
+    def test_working_set_within_capacity_always_hits(self):
+        sim = _tiny_cache(sets=4, ways=2)
+        working_set = np.arange(8)  # exactly capacity
+        sim.access(working_set)
+        for _ in range(3):
+            assert sim.access(working_set).size == 0
+
+    def test_streaming_working_set_never_hits(self):
+        sim = _tiny_cache(sets=2, ways=1)
+        stream = np.arange(0, 64)
+        misses = sim.access(stream)
+        assert misses.size == 64
+
+    def test_reset_clears_contents(self):
+        sim = _tiny_cache()
+        sim.access(np.array([1, 2, 3]))
+        sim.reset()
+        assert sim.stats.accesses == 0
+        assert sim.access(np.array([1])).tolist() == [1]
+
+    def test_miss_stream_preserves_order(self):
+        sim = _tiny_cache(sets=1, ways=1)
+        misses = sim.access(np.array([0, 4, 8, 4]))
+        assert misses.tolist() == [0, 4, 8, 4]
+
+
+class TestConfiguration:
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheSim(CacheConfig(size_bytes=3 * 64, ways=1))
+
+    def test_hit_rate_statistics(self):
+        sim = _tiny_cache()
+        sim.access(np.array([0, 0, 0, 0]))
+        assert sim.stats.hit_rate == pytest.approx(0.75)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=128))
+    def test_hits_plus_misses_equals_accesses(self, stream):
+        sim = _tiny_cache()
+        arr = np.asarray(stream, dtype=np.int64)
+        misses = sim.access(arr)
+        assert sim.stats.accesses == len(stream)
+        assert sim.stats.hits + len(misses) == len(stream)

@@ -1,0 +1,121 @@
+"""Cross-module property-based tests on the system's core invariants.
+
+These complement the per-module hypothesis tests with properties that
+span subsystem boundaries — the relationships the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.af_ssim import af_ssim_n, af_ssim_txds
+from repro.core.patu import FilterMode, PerceptionAwareTextureUnit
+from repro.core.scenarios import AFSSIM_N_TXDS, BASELINE, PATU
+from repro.texture.addressing import TextureLayout
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+from repro.texture.unit import TEXELS_PER_TRILINEAR, TextureUnit
+
+_TEX = 64
+
+_settings = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    rng = np.random.default_rng(99)
+    chain = MipChain(Texture2D("p", rng.random((_TEX, _TEX, 4))))
+    return TextureUnit(TextureLayout([chain]))
+
+
+_frag_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),  # u
+    st.floats(min_value=0.0, max_value=1.0),  # v
+    st.floats(min_value=0.2, max_value=40.0),  # px (texels)
+    st.floats(min_value=0.2, max_value=40.0),  # py (texels)
+)
+
+
+class TestFilteringInvariants:
+    @_settings
+    @given(st.lists(_frag_strategy, min_size=1, max_size=12))
+    def test_batch_accounting_always_consistent(self, unit, frags):
+        arr = np.asarray(frags, dtype=np.float64)
+        u, v, px, py = arr.T
+        batch = unit.filter_batch(
+            0, u, v, px / _TEX, np.zeros_like(u), np.zeros_like(u), py / _TEX
+        )
+        # Structural invariants of every capture batch.
+        assert (batch.n >= 1).all() and (batch.n <= 16).all()
+        assert np.array_equal(np.diff(batch.sample_row_ptr), batch.n)
+        assert batch.af_lines.size == batch.total_af_samples * TEXELS_PER_TRILINEAR
+        assert (batch.lod_af <= batch.lod_tf + 1e-9).all()
+        # Colors are convex combinations of texels: inside [0, 1].
+        for colors in (batch.af_color, batch.tf_color, batch.tf_af_lod_color):
+            assert colors.min() >= -1e-5 and colors.max() <= 1 + 1e-5
+
+    @_settings
+    @given(st.lists(_frag_strategy, min_size=1, max_size=12))
+    def test_af_color_bounded_by_constituent_extremes(self, unit, frags):
+        # AF is a mean of trilinear samples, each of which is a convex
+        # combination: AF output can never exceed the TF dynamic range
+        # of the whole texture.
+        arr = np.asarray(frags, dtype=np.float64)
+        u, v, px, py = arr.T
+        batch = unit.filter_batch(
+            0, u, v, px / _TEX, np.zeros_like(u), np.zeros_like(u), py / _TEX
+        )
+        chain = unit.layout.chains[0]
+        lo = min(level.min() for level in chain.levels)
+        hi = max(level.max() for level in chain.levels)
+        assert batch.af_color.min() >= lo - 1e-5
+        assert batch.af_color.max() <= hi + 1e-5
+
+
+class TestDecisionInvariants:
+    @_settings
+    @given(
+        st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=48),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_patu_between_baseline_and_af_off(self, ns, txds_value, threshold):
+        n = np.asarray(ns)
+        txds = np.full(len(ns), txds_value)
+        base = PerceptionAwareTextureUnit(BASELINE, 1.0).decide(n, txds)
+        patu = PerceptionAwareTextureUnit(PATU, threshold).decide(n, txds)
+        off = PerceptionAwareTextureUnit(AFSSIM_N_TXDS, 0.0).decide(n, txds)
+        assert off.total_trilinear <= patu.total_trilinear <= base.total_trilinear
+
+    @_settings
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_decision_is_threshold_crossing(self, n, txds_value):
+        # The pixel is approximated iff one of its two predicted
+        # AF-SSIM values clears the threshold (Fig. 13 flow).
+        pred_n = float(af_ssim_n(n))
+        pred_t = float(af_ssim_txds(txds_value))
+        for threshold in (0.1, 0.4, 0.7):
+            d = PerceptionAwareTextureUnit(PATU, threshold).decide(
+                np.array([n]), np.array([txds_value])
+            )
+            expected = pred_n > threshold or pred_t > threshold
+            assert bool(d.prediction.approximated[0]) == expected
+
+    @_settings
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=32))
+    def test_modes_partition_pixels(self, ns):
+        n = np.asarray(ns)
+        txds = np.linspace(0, 1, len(ns))
+        d = PerceptionAwareTextureUnit(PATU, 0.4).decide(n, txds)
+        af = d.mode == FilterMode.AF
+        tf = (d.mode == FilterMode.TF_TF_LOD) | (d.mode == FilterMode.TF_AF_LOD)
+        assert np.array_equal(af | tf, np.ones(len(ns), bool))
+        assert not (af & tf).any()
+        # AF mode only on genuinely anisotropic, non-approximated pixels.
+        assert np.array_equal(af, (n > 1) & ~d.prediction.approximated)

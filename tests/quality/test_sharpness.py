@@ -1,0 +1,69 @@
+"""Tests for the gradient-energy sharpness metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.quality.sharpness import gradient_energy, sharpness_ratio
+
+
+def _checker(size=32, period=2):
+    return ((np.indices((size, size)) // period).sum(0) % 2).astype(float)
+
+
+def _box_blur(img):
+    out = img.copy()
+    for axis in (0, 1):
+        out = (np.roll(out, 1, axis) + out + np.roll(out, -1, axis)) / 3
+    return out
+
+
+class TestGradientEnergy:
+    def test_constant_image_has_zero_energy(self):
+        assert gradient_energy(np.full((8, 8), 0.5)) == 0.0
+
+    def test_known_ramp_gradient(self):
+        # Luminance ramp with slope 0.1 per pixel along x.
+        ramp = np.tile(np.arange(16) * 0.1, (16, 1))
+        assert gradient_energy(ramp) == pytest.approx(0.1)
+
+    def test_blur_reduces_energy(self):
+        img = _checker()
+        assert gradient_energy(_box_blur(img)) < gradient_energy(img)
+
+    def test_finer_detail_higher_energy(self):
+        assert gradient_energy(_checker(period=2)) > gradient_energy(
+            _checker(period=8)
+        )
+
+    def test_mask_restricts_region(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = _checker(16)[:, 8:]  # detail only on the right half
+        left = np.zeros((16, 16), dtype=bool)
+        left[:, :8] = True
+        right = ~left
+        assert gradient_energy(img, right) > gradient_energy(img, left)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            gradient_energy(np.zeros((2, 2)))
+        with pytest.raises(ReproError):
+            gradient_energy(np.zeros((8, 8, 3)))
+        with pytest.raises(ReproError):
+            gradient_energy(np.zeros((8, 8)), np.zeros((4, 4), dtype=bool))
+        with pytest.raises(ReproError):
+            gradient_energy(np.zeros((8, 8)), np.zeros((8, 8), dtype=bool))
+
+
+class TestSharpnessRatio:
+    def test_identity_is_one(self):
+        img = _checker()
+        assert sharpness_ratio(img, img) == pytest.approx(1.0)
+
+    def test_sharp_vs_blurred_above_one(self):
+        img = _checker()
+        assert sharpness_ratio(img, _box_blur(img)) > 1.0
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ReproError):
+            sharpness_ratio(_checker(), np.full((32, 32), 0.5))

@@ -1,0 +1,115 @@
+"""Tests for SSIM/MSSIM and the classic metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.quality.metrics import mse, psnr
+from repro.quality.ssim import mssim, ssim_components, ssim_map
+
+
+def _image(seed=0, size=32):
+    return np.random.default_rng(seed).random((size, size))
+
+
+class TestSsimBasics:
+    def test_identical_images_score_one(self):
+        img = _image()
+        assert mssim(img, img) == pytest.approx(1.0)
+        assert np.allclose(ssim_map(img, img), 1.0)
+
+    def test_symmetry(self):
+        a, b = _image(1), _image(2)
+        assert mssim(a, b) == pytest.approx(mssim(b, a))
+
+    def test_independent_noise_scores_low(self):
+        a, b = _image(1), _image(2)
+        assert mssim(a, b) < 0.2
+
+    def test_range_is_bounded(self):
+        a, b = _image(3), _image(4)
+        m = ssim_map(a, b)
+        assert m.min() >= -1.0 - 1e-9
+        assert m.max() <= 1.0 + 1e-9
+
+    def test_constant_images(self):
+        a = np.full((16, 16), 0.5)
+        assert mssim(a, a.copy()) == pytest.approx(1.0)
+        b = np.full((16, 16), 0.6)
+        # Same structure, different luminance: high but below 1.
+        assert 0.5 < mssim(a, b) < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            mssim(_image(size=32), _image(size=16))
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ReproError):
+            mssim(np.zeros((8, 8)), np.zeros((8, 8)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ReproError):
+            mssim(np.zeros((16, 16, 3)), np.zeros((16, 16, 3)))
+
+
+class TestSsimSensitivity:
+    def test_blur_hurts_more_than_tiny_noise(self):
+        # SSIM's reason for existing: structure loss (blur) is punished
+        # even when pixelwise error is modest.
+        rng = np.random.default_rng(5)
+        img = (np.indices((64, 64)).sum(0) // 4 % 2).astype(float)
+        blurred = img.copy()
+        for axis in (0, 1):
+            blurred = (
+                np.roll(blurred, 1, axis) + blurred + np.roll(blurred, -1, axis)
+            ) / 3
+        noisy = np.clip(img + rng.normal(0, 0.02, img.shape), 0, 1)
+        assert mssim(img, noisy) > mssim(img, blurred)
+
+    @settings(max_examples=15)
+    @given(st.floats(min_value=0.0, max_value=0.4))
+    def test_monotone_in_noise_level(self, sigma):
+        rng = np.random.default_rng(9)
+        img = _image(6)
+        a = np.clip(img + rng.normal(0, sigma, img.shape), 0, 1)
+        b = np.clip(img + rng.normal(0, sigma + 0.3, img.shape), 0, 1)
+        assert mssim(img, a) >= mssim(img, b) - 0.05
+
+    def test_components_multiply_to_map(self):
+        a, b = _image(7), _image(8)
+        lum, cs = ssim_components(a, b)
+        assert np.allclose(lum * cs, ssim_map(a, b))
+
+    def test_luminance_component_ignores_contrast(self):
+        a = _image(10)
+        shifted = np.clip(a * 0.5 + 0.25, 0, 1)  # contrast halved, mean kept
+        lum, cs = ssim_components(a, shifted)
+        assert lum.mean() > cs.mean()
+
+
+class TestClassicMetrics:
+    def test_mse_zero_for_identical(self):
+        img = _image()
+        assert mse(img, img) == 0.0
+
+    def test_psnr_infinite_for_identical(self):
+        img = _image()
+        assert psnr(img, img) == np.inf
+
+    def test_psnr_known_value(self):
+        a = np.zeros((16, 16))
+        b = np.full((16, 16), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)  # 10*log10(1/0.01)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            mse(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_ssim_and_psnr_agree_on_ordering_for_noise(self):
+        img = _image(12)
+        rng = np.random.default_rng(13)
+        small = np.clip(img + rng.normal(0, 0.05, img.shape), 0, 1)
+        large = np.clip(img + rng.normal(0, 0.3, img.shape), 0, 1)
+        assert mssim(img, small) > mssim(img, large)
+        assert psnr(img, small) > psnr(img, large)

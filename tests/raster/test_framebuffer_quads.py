@@ -1,0 +1,94 @@
+"""Tests for the framebuffer and quad bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PipelineError
+from repro.raster.framebuffer import Framebuffer
+from repro.raster.quads import quad_divergence_fraction, quad_ids
+
+
+class TestFramebuffer:
+    def test_clear_color_fills_frame(self):
+        fb = Framebuffer(8, 4, clear_color=(0.1, 0.2, 0.3, 1.0))
+        assert np.allclose(fb.color[3, 7], [0.1, 0.2, 0.3, 1.0])
+
+    def test_scatter_write(self):
+        fb = Framebuffer(8, 8)
+        fb.write(
+            np.array([0, 7]), np.array([0, 7]),
+            np.array([[1, 0, 0, 1], [0, 1, 0, 1]], dtype=np.float32),
+        )
+        assert np.allclose(fb.color[0, 0], [1, 0, 0, 1])
+        assert np.allclose(fb.color[7, 7], [0, 1, 0, 1])
+
+    def test_writes_are_clamped(self):
+        fb = Framebuffer(2, 2)
+        fb.write(np.array([0]), np.array([0]),
+                 np.array([[2.0, -1.0, 0.5, 1.0]], dtype=np.float32))
+        assert np.allclose(fb.color[0, 0], [1.0, 0.0, 0.5, 1.0])
+
+    def test_luminance_rec601(self):
+        fb = Framebuffer(2, 2, clear_color=(1.0, 1.0, 1.0, 1.0))
+        assert np.allclose(fb.luminance(), 1.0)
+        fb2 = Framebuffer(2, 2, clear_color=(1.0, 0.0, 0.0, 1.0))
+        assert np.allclose(fb2.luminance(), 0.299)
+
+    def test_length_mismatch_rejected(self):
+        fb = Framebuffer(4, 4)
+        with pytest.raises(PipelineError):
+            fb.write(np.array([0, 1]), np.array([0]), np.zeros((2, 4)))
+
+
+class TestQuadIds:
+    def test_pixels_of_one_quad_share_an_id(self):
+        rows = np.array([0, 0, 1, 1])
+        cols = np.array([0, 1, 0, 1])
+        ids = quad_ids(rows, cols, width=8)
+        assert len(set(ids.tolist())) == 1
+
+    def test_adjacent_quads_differ(self):
+        ids = quad_ids(np.array([0, 0]), np.array([1, 2]), width=8)
+        assert ids[0] != ids[1]
+
+    def test_row_stride(self):
+        a = quad_ids(np.array([1]), np.array([7]), width=8)
+        b = quad_ids(np.array([2]), np.array([0]), width=8)
+        assert b[0] == a[0] + 1  # next quad row starts after 4 quads
+
+
+class TestQuadDivergence:
+    def test_uniform_decisions_never_diverge(self):
+        rows, cols = np.divmod(np.arange(64), 8)
+        assert quad_divergence_fraction(rows, cols, 8, np.ones(64, bool)) == 0.0
+        assert quad_divergence_fraction(rows, cols, 8, np.zeros(64, bool)) == 0.0
+
+    def test_alternating_columns_diverge_everywhere(self):
+        rows, cols = np.divmod(np.arange(64), 8)
+        decision = cols % 2 == 0
+        assert quad_divergence_fraction(rows, cols, 8, decision) == 1.0
+
+    def test_quad_aligned_pattern_never_diverges(self):
+        rows, cols = np.divmod(np.arange(64), 8)
+        decision = (cols // 2) % 2 == 0  # uniform within each 2x2 quad
+        assert quad_divergence_fraction(rows, cols, 8, decision) == 0.0
+
+    def test_single_pixel_quads_count_as_convergent(self):
+        rows = np.array([0, 0])
+        cols = np.array([0, 2])  # two different quads, one pixel each
+        decision = np.array([True, False])
+        assert quad_divergence_fraction(rows, cols, 8, decision) == 0.0
+
+    def test_empty_input(self):
+        empty = np.array([], dtype=np.int64)
+        assert quad_divergence_fraction(empty, empty, 8, empty.astype(bool)) == 0.0
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=7))
+    def test_fraction_bounds(self, n_pixels, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 16, n_pixels)
+        cols = rng.integers(0, 16, n_pixels)
+        decision = rng.random(n_pixels) > 0.5
+        frac = quad_divergence_fraction(rows, cols, 16, decision)
+        assert 0.0 <= frac <= 1.0

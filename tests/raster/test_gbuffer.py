@@ -1,0 +1,35 @@
+"""Tests for the G-buffer container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.raster.gbuffer import GBuffer
+
+
+class TestEmptyGBuffer:
+    def test_starts_uncovered(self):
+        gb = GBuffer.empty(16, 8)
+        assert gb.num_visible == 0
+        assert not gb.coverage_mask.any()
+        assert np.isinf(gb.depth).all()
+        assert (gb.tex_id == -1).all()
+
+    def test_shapes_are_height_by_width(self):
+        gb = GBuffer.empty(32, 8)
+        assert gb.tex_id.shape == (8, 32)
+        assert gb.u.shape == (8, 32)
+
+    def test_visible_indices_raster_order(self):
+        gb = GBuffer.empty(8, 8)
+        gb.tex_id[2, 5] = 0
+        gb.tex_id[1, 3] = 0
+        rows, cols = gb.visible_indices()
+        assert rows.tolist() == [1, 2]
+        assert cols.tolist() == [3, 5]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(PipelineError):
+            GBuffer.empty(0, 8)
+        with pytest.raises(PipelineError):
+            GBuffer.empty(8, -1)

@@ -1,0 +1,55 @@
+"""Tests for FrameCapture save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import SCENARIOS
+from repro.errors import PipelineError
+from repro.renderer.serialization import (
+    FORMAT_VERSION,
+    load_capture,
+    save_capture,
+)
+
+
+class TestRoundTrip:
+    def test_arrays_survive(self, tmp_path, capture):
+        path = save_capture(tmp_path / "cap.npz", capture)
+        loaded = load_capture(path)
+        assert loaded.workload_name == capture.workload_name
+        assert loaded.width == capture.width and loaded.height == capture.height
+        assert np.array_equal(loaded.n, capture.n)
+        assert np.array_equal(loaded.sample_keys, capture.sample_keys)
+        assert np.allclose(loaded.txds, capture.txds)
+        assert np.array_equal(loaded.af_lines, capture.af_lines)
+        assert np.allclose(loaded.baseline_luminance, capture.baseline_luminance)
+        assert loaded.workload.vertices == capture.workload.vertices
+
+    def test_loaded_capture_evaluates_identically(self, tmp_path, session, capture):
+        path = save_capture(tmp_path / "cap.npz", capture)
+        loaded = load_capture(path)
+        a = session.evaluate(capture, SCENARIOS["patu"], 0.4)
+        b = session.evaluate(loaded, SCENARIOS["patu"], 0.4)
+        assert a.mssim == pytest.approx(b.mssim, abs=1e-12)
+        assert a.frame_cycles == pytest.approx(b.frame_cycles)
+        assert a.events.trilinear_samples == b.events.trilinear_samples
+        assert a.hierarchy.dram_bytes == b.hierarchy.dram_bytes
+
+    def test_suffix_appended(self, tmp_path, capture):
+        path = save_capture(tmp_path / "noext", capture)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PipelineError):
+            load_capture(tmp_path / "nope.npz")
+
+    def test_version_check(self, tmp_path, capture):
+        path = save_capture(tmp_path / "cap.npz", capture)
+        data = dict(np.load(path, allow_pickle=False))
+        data["meta_version"] = np.asarray([FORMAT_VERSION + 1])
+        np.savez_compressed(path, **data)
+        with pytest.raises(PipelineError, match="version"):
+            load_capture(path)

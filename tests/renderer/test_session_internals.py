@@ -1,0 +1,100 @@
+"""White-box tests for RenderSession's vectorized internals.
+
+The fetch-stream assembly and quad-grouping helpers are the most
+intricate vectorized code in the repository; these tests pin them
+against straightforward per-pixel reference implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.patu import FilterMode, PerceptionAwareTextureUnit
+from repro.core.scenarios import SCENARIOS
+from repro.renderer.session import _group_index, _group_mean
+from repro.texture.unit import TEXELS_PER_TRILINEAR
+
+
+class TestGroupHelpers:
+    def test_group_index_distinguishes_pairs(self):
+        primary = np.array([0, 0, 1, 1])
+        secondary = np.array([0, 1, 0, 1])
+        idx = _group_index(primary, secondary)
+        assert len(set(idx.tolist())) == 4
+
+    def test_group_index_same_pair_same_group(self):
+        primary = np.array([3, 3, 5])
+        secondary = np.array([2, 2, 2])
+        idx = _group_index(primary, secondary)
+        assert idx[0] == idx[1]
+        assert idx[0] != idx[2]
+
+    def test_group_mean_matches_manual(self):
+        group = np.array([0, 0, 1, 1, 1])
+        values = np.array([1.0, 3.0, 2.0, 4.0, 6.0])
+        out = _group_mean(values, group)
+        assert np.allclose(out, [2.0, 2.0, 4.0, 4.0, 4.0])
+
+    def test_group_mean_single_groups_identity(self):
+        values = np.array([5.0, 7.0, 9.0])
+        out = _group_mean(values, np.arange(3))
+        assert np.allclose(out, values)
+
+
+class TestFetchStreamReference:
+    """The assembled stream must equal the per-pixel concatenation."""
+
+    def _reference_stream(self, capture, decision):
+        segments = []
+        for i in range(capture.num_pixels):
+            if decision.mode[i] == FilterMode.AF:
+                lo = capture.sample_row_ptr[i] * TEXELS_PER_TRILINEAR
+                hi = capture.sample_row_ptr[i + 1] * TEXELS_PER_TRILINEAR
+                segments.append(capture.af_lines[lo:hi])
+            elif decision.mode[i] == FilterMode.TF_TF_LOD:
+                segments.append(capture.tf_lines[i])
+            else:
+                segments.append(capture.tfa_lines[i])
+        return np.concatenate(segments)
+
+    @pytest.mark.parametrize(
+        "scenario,threshold",
+        [("baseline", 1.0), ("afssim_n", 0.0), ("afssim_n", 0.4),
+         ("afssim_n_txds", 0.4), ("patu", 0.4), ("patu", 0.8)],
+    )
+    def test_stream_matches_reference(self, session, capture, scenario,
+                                      threshold):
+        device = PerceptionAwareTextureUnit(SCENARIOS[scenario], threshold)
+        decision = device.decide(capture.n, capture.txds)
+        lines, lengths = session._fetch_stream(capture, decision)
+        expected = self._reference_stream(capture, decision)
+        assert np.array_equal(lines, expected)
+        assert lengths.sum() == expected.size
+
+    def test_lengths_match_modes(self, session, capture):
+        device = PerceptionAwareTextureUnit(SCENARIOS["patu"], 0.4)
+        decision = device.decide(capture.n, capture.txds)
+        _, lengths = session._fetch_stream(capture, decision)
+        af = decision.mode == FilterMode.AF
+        assert np.array_equal(
+            lengths,
+            np.where(af, capture.n * TEXELS_PER_TRILINEAR,
+                     TEXELS_PER_TRILINEAR),
+        )
+
+
+class TestTileStreams:
+    def test_hierarchy_sees_whole_stream(self, session, capture):
+        device = PerceptionAwareTextureUnit(SCENARIOS["baseline"], 1.0)
+        decision = device.decide(capture.n, capture.txds)
+        lines, lengths = session._fetch_stream(capture, decision)
+        hier = session._simulate_hierarchy(capture, lines, lengths)
+        assert hier.l1.accesses == lines.size
+
+    def test_unit_assignment_is_stable(self, session, capture):
+        device = PerceptionAwareTextureUnit(SCENARIOS["baseline"], 1.0)
+        decision = device.decide(capture.n, capture.txds)
+        lines, lengths = session._fetch_stream(capture, decision)
+        a = session._simulate_hierarchy(capture, lines, lengths)
+        b = session._simulate_hierarchy(capture, lines, lengths)
+        assert a.l1.hits == b.l1.hits
+        assert a.dram.lines_fetched == b.dram.lines_fetched

@@ -1,0 +1,47 @@
+"""Tests for the per-frame complexity modulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.replay.vsync import (
+    COMPLEXITY_SPREAD,
+    SCENE_COMPLEXITY,
+    frame_complexity,
+)
+
+
+class TestFrameComplexity:
+    def test_deterministic(self):
+        assert frame_complexity(7) == frame_complexity(7)
+
+    def test_varies_across_frames(self):
+        values = {frame_complexity(i) for i in range(10)}
+        assert len(values) == 10
+
+    def test_bounded_by_spread(self):
+        lo = SCENE_COMPLEXITY * (1 - COMPLEXITY_SPREAD)
+        hi = SCENE_COMPLEXITY * (1 + COMPLEXITY_SPREAD)
+        for i in range(200):
+            assert lo - 1e-9 <= frame_complexity(i) <= hi + 1e-9
+
+    def test_mean_near_base(self):
+        # The golden-ratio sequence is equidistributed: long-run mean
+        # converges to the base complexity.
+        values = [frame_complexity(i) for i in range(500)]
+        assert np.mean(values) == pytest.approx(SCENE_COMPLEXITY, rel=0.02)
+
+    def test_identical_across_design_points(self):
+        # The modulation is a pure function of the frame index, so two
+        # design points replaying the same frames share it exactly —
+        # per-frame ratios stay untouched.
+        a = [frame_complexity(i, base=2.0) for i in range(8)]
+        b = [frame_complexity(i, base=4.0) for i in range(8)]
+        assert np.allclose(np.asarray(b) / np.asarray(a), 2.0)
+
+    def test_zero_spread_is_constant(self):
+        assert frame_complexity(3, spread=0.0) == SCENE_COMPLEXITY
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            frame_complexity(0, spread=1.5)

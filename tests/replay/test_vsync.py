@@ -1,0 +1,70 @@
+"""Tests for the vsync replay model."""
+
+import pytest
+
+from repro.config import CPU_LATENCY_CYCLES, REFRESH_INTERVAL_CYCLES
+from repro.errors import ReproError
+from repro.replay.vsync import VsyncSimulator, nominal_frame_cycles
+
+
+class TestNominalScaling:
+    def test_identity_at_full_scale_unit_complexity(self):
+        assert nominal_frame_cycles(1000.0, 1.0, complexity=1.0) == 1000.0
+
+    def test_quarter_scale_is_sixteen_x(self):
+        assert nominal_frame_cycles(1000.0, 0.25, complexity=1.0) == pytest.approx(
+            16_000.0
+        )
+
+    def test_complexity_multiplies(self):
+        assert nominal_frame_cycles(1000.0, 1.0, complexity=3.0) == 3000.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            nominal_frame_cycles(1000.0, 0.0)
+        with pytest.raises(ReproError):
+            nominal_frame_cycles(1000.0, 0.5, complexity=0.0)
+
+
+class TestVsync:
+    def test_fast_frames_cap_at_60fps(self):
+        sim = VsyncSimulator()
+        stats = sim.replay([1_000_000.0] * 10)  # 1 ms GPU work per frame
+        assert stats.average_fps == pytest.approx(60.0, rel=1e-6)
+        assert stats.lag_fraction == 0.0
+
+    def test_slow_frames_halve_the_rate(self):
+        sim = VsyncSimulator()
+        # CPU (8.3M) + GPU (12M) > one refresh interval -> 2 intervals.
+        stats = sim.replay([12_000_000.0] * 10)
+        assert stats.average_fps == pytest.approx(30.0, rel=1e-6)
+        assert stats.lag_fraction == 1.0
+
+    def test_mixed_sequence(self):
+        sim = VsyncSimulator()
+        stats = sim.replay([1_000_000.0, 12_000_000.0])
+        assert stats.lag_fraction == pytest.approx(0.5)
+        assert stats.min_fps == pytest.approx(30.0, rel=1e-6)
+        assert stats.max_fps == pytest.approx(60.0, rel=1e-6)
+
+    def test_cpu_latency_counts_against_budget(self):
+        sim = VsyncSimulator()
+        # GPU work just below one interval, but CPU latency pushes it over.
+        cycles = REFRESH_INTERVAL_CYCLES - CPU_LATENCY_CYCLES + 1000
+        stats = sim.replay([float(cycles)])
+        assert stats.lag_fraction == 1.0
+
+    def test_fps_monotone_in_frame_time(self):
+        sim = VsyncSimulator()
+        fast = sim.replay([5_000_000.0] * 5)
+        slow = sim.replay([50_000_000.0] * 5)
+        assert fast.average_fps > slow.average_fps
+
+    def test_validation(self):
+        sim = VsyncSimulator()
+        with pytest.raises(ReproError):
+            sim.replay([])
+        with pytest.raises(ReproError):
+            sim.replay([0.0])
+        with pytest.raises(ReproError):
+            VsyncSimulator(refresh_cycles=0)

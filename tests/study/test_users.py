@@ -1,0 +1,73 @@
+"""Tests for the simulated user study."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.study.users import Participant, UserStudy
+
+
+class TestParticipant:
+    def _p(self, wq=20.0, wp=5.0, jnd=0.02):
+        return Participant(
+            ident=0, quality_weight=wq, performance_weight=wp, quality_jnd=jnd
+        )
+
+    def test_perfect_replay_scores_five(self):
+        assert self._p().score(1.0, 60.0, 0.0) == 5.0
+
+    def test_loss_below_jnd_is_free(self):
+        p = self._p(jnd=0.05)
+        assert p.score(0.96, 60.0, 0.0) == 5.0
+
+    def test_quality_loss_reduces_score(self):
+        p = self._p()
+        assert p.score(0.7, 60.0, 0.0) < p.score(0.95, 60.0, 0.0)
+
+    def test_low_fps_reduces_score(self):
+        p = self._p()
+        assert p.score(1.0, 20.0, 0.5) < p.score(1.0, 60.0, 0.0)
+
+    def test_score_clipped_to_range(self):
+        p = self._p(wq=100.0, wp=100.0)
+        assert p.score(0.0, 1.0, 1.0) == 1.0
+
+    def test_validation(self):
+        p = self._p()
+        with pytest.raises(ReproError):
+            p.score(1.5, 60.0, 0.0)
+        with pytest.raises(ReproError):
+            p.score(0.9, 0.0, 0.0)
+
+
+class TestUserStudy:
+    def test_population_size_and_determinism(self):
+        a = UserStudy(num_participants=30, seed=7)
+        b = UserStudy(num_participants=30, seed=7)
+        assert len(a.participants) == 30
+        r1 = a.evaluate(0.9, 45.0, 0.2)
+        r2 = b.evaluate(0.9, 45.0, 0.2)
+        assert r1.scores == r2.scores
+
+    def test_seed_changes_population(self):
+        a = UserStudy(seed=1).evaluate(0.85, 40.0, 0.3)
+        b = UserStudy(seed=2).evaluate(0.85, 40.0, 0.3)
+        assert a.scores != b.scores
+
+    def test_population_is_heterogeneous(self):
+        study = UserStudy()
+        result = study.evaluate(0.85, 30.0, 0.5)
+        assert result.std_score > 0.05
+
+    def test_mean_prefers_balanced_replay(self):
+        study = UserStudy()
+        # Typical Fig. 22 situation: mid threshold = good quality AND
+        # good fps beats both extremes.
+        no_af = study.evaluate(0.80, 58.0, 0.05)  # threshold 0
+        balanced = study.evaluate(0.96, 52.0, 0.15)  # threshold ~0.4
+        baseline = study.evaluate(1.00, 33.0, 0.8)  # threshold 1
+        assert balanced.mean_score > no_af.mean_score
+        assert balanced.mean_score > baseline.mean_score
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ReproError):
+            UserStudy(num_participants=0)

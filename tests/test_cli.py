@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig19"])
+        assert args.id == "fig19"
+        assert args.scale == 0.25
+        assert args.frames == 2
+
+    def test_render_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "wolf-640x480",
+                                       "--scenario", "bogus"])
+
+
+class TestCommands:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "HL2-1600x1200" in out
+        assert "fig19" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_static_table(self, capsys, tmp_path):
+        out_file = tmp_path / "t1.txt"
+        assert main(["experiment", "table1", "--out", str(out_file)]) == 0
+        assert "Frequency" in out_file.read_text()
+
+    def test_compare_runs_small(self, capsys):
+        assert main(["compare", "wolf-640x480", "--scale", "0.07"]) == 0
+        out = capsys.readouterr().out
+        assert "PATU" in out and "Baseline" in out
+
+    def test_render_writes_images(self, tmp_path, capsys):
+        out_dir = tmp_path / "render"
+        assert main([
+            "render", "wolf-640x480", "--scale", "0.07",
+            "--out", str(out_dir),
+        ]) == 0
+        assert (out_dir / "frame.ppm").exists()
+        assert (out_dir / "baseline_luminance.pgm").exists()
+        assert (out_dir / "ssim_map.pgm").exists()
+
+    def test_repro_error_maps_to_exit_1(self, capsys):
+        assert main(["compare", "nonexistent-0x0"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,45 @@
+"""Tests for the CLI's best-effort result plotting."""
+
+from repro.cli import _plot_result
+from repro.experiments.runner import ExperimentResult
+
+
+def _result(rows):
+    return ExperimentResult(experiment="x", title="T", rows=rows)
+
+
+class TestPlotResult:
+    def test_threshold_rows_become_line_chart(self):
+        rows = [
+            {"workload": "average", "threshold": t, "speedup": 1.2 - t / 5,
+             "mssim": 0.9 + t / 10}
+            for t in (0.0, 0.5, 1.0)
+        ]
+        chart = _plot_result(_result(rows))
+        assert chart is not None
+        assert "speedup" in chart and "mssim" in chart
+
+    def test_average_row_becomes_bar_chart(self):
+        rows = [
+            {"workload": "a", "baseline": 1.0, "patu": 0.9},
+            {"workload": "average", "baseline": 1.0, "patu": 0.85},
+        ]
+        chart = _plot_result(_result(rows))
+        assert chart is not None
+        assert "patu" in chart
+
+    def test_no_average_row_returns_none(self):
+        rows = [{"workload": "a", "value": 1.0}]
+        assert _plot_result(_result(rows)) is None
+
+    def test_empty_rows_returns_none(self):
+        assert _plot_result(_result([])) is None
+
+    def test_non_numeric_columns_skipped(self):
+        rows = [{"workload": "average", "threshold": 0.0, "speedup": 1.0,
+                 "label": "x"},
+                {"workload": "average", "threshold": 1.0, "speedup": 0.9,
+                 "label": "y"}]
+        chart = _plot_result(_result(rows))
+        assert chart is not None
+        assert "label" not in chart.splitlines()[-1]

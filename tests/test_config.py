@@ -1,0 +1,92 @@
+"""Tests for the GPU configuration (Table I)."""
+
+import pytest
+
+from repro.config import (
+    BASELINE_CONFIG,
+    CPU_LATENCY_CYCLES,
+    REFRESH_INTERVAL_CYCLES,
+    CacheConfig,
+    GpuConfig,
+    MemoryConfig,
+    TextureUnitConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Values:
+    def test_baseline_matches_paper(self):
+        cfg = BASELINE_CONFIG
+        assert cfg.frequency_hz == 1_000_000_000
+        assert cfg.num_clusters == 4
+        assert cfg.shaders_per_cluster == 16
+        assert cfg.num_texture_units == 4
+        assert cfg.texture_unit.address_alus == 4
+        assert cfg.texture_unit.filtering_alus == 8
+        assert cfg.texture_unit.cycles_per_trilinear == 2
+        assert cfg.texture_l1.size_bytes == 16 * 1024
+        assert cfg.texture_l1.ways == 4
+        assert cfg.texture_l2.size_bytes == 128 * 1024
+        assert cfg.texture_l2.ways == 8
+        assert cfg.memory.bytes_per_cycle == 16
+        assert cfg.memory.channels == 8
+        assert cfg.memory.banks_per_channel == 8
+
+    def test_table1_rows_render_paper_strings(self):
+        rows = dict(BASELINE_CONFIG.table1_rows())
+        assert rows["Frequency"] == "1GHz"
+        assert rows["Texture L1 cache"] == "16KB, 4-way"
+        assert rows["Texture throughput"] == "2 cycle per trilinear"
+        assert "8 banks per channel" in rows["Memory configuration"]
+
+    def test_vsync_constants(self):
+        assert REFRESH_INTERVAL_CYCLES == 16_666_667  # 60 Hz at 1 GHz
+        assert CPU_LATENCY_CYCLES == REFRESH_INTERVAL_CYCLES // 2
+
+
+class TestCacheConfig:
+    def test_set_arithmetic(self):
+        c = CacheConfig(size_bytes=16 * 1024, ways=4)
+        assert c.num_sets == 64
+        assert c.num_lines == 256
+
+    def test_scaling_up(self):
+        c = CacheConfig(size_bytes=16 * 1024, ways=4).scaled(4)
+        assert c.size_bytes == 64 * 1024
+        assert c.ways == 4
+
+    def test_scaling_down_floors_at_one_set(self):
+        c = CacheConfig(size_bytes=1024, ways=4).scaled_down(1000)
+        assert c.num_sets == 1
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+    def test_rejects_bad_scale(self):
+        c = CacheConfig(size_bytes=1024, ways=4)
+        with pytest.raises(ConfigError):
+            c.scaled(0)
+        with pytest.raises(ConfigError):
+            c.scaled_down(0)
+
+
+class TestGpuConfig:
+    def test_cache_scaling_derives_new_config(self):
+        scaled = BASELINE_CONFIG.scaled(texture_l1=2, texture_l2=4)
+        assert scaled.texture_l1.size_bytes == 32 * 1024
+        assert scaled.texture_l2.size_bytes == 512 * 1024
+        # Original untouched (frozen dataclasses).
+        assert BASELINE_CONFIG.texture_l2.size_bytes == 128 * 1024
+
+    def test_rejects_odd_tile_size(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(tile_size=15)
+
+    def test_rejects_bad_max_aniso(self):
+        with pytest.raises(ConfigError):
+            TextureUnitConfig(max_anisotropy=64)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(channels=0)

@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    GeometryError,
+    PipelineError,
+    ReproError,
+    TextureError,
+    WorkloadError,
+)
+
+ALL_ERRORS = (
+    ConfigError,
+    ExperimentError,
+    GeometryError,
+    PipelineError,
+    TextureError,
+    WorkloadError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for err in ALL_ERRORS:
+        assert issubclass(err, ReproError)
+        assert issubclass(err, Exception)
+
+
+def test_catching_base_catches_all():
+    for err in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise err("boom")
+
+
+def test_errors_are_distinct_types():
+    # Catching one specific subtype must not swallow the others.
+    with pytest.raises(TextureError):
+        try:
+            raise TextureError("t")
+        except GeometryError:  # pragma: no cover - must not trigger
+            pytest.fail("TextureError caught as GeometryError")
+
+
+def test_library_raises_its_own_types():
+    from repro.config import CacheConfig
+    from repro.geometry.linalg import perspective
+
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=-1, ways=1)
+    with pytest.raises(GeometryError):
+        perspective(1.0, 1.0, 5.0, 1.0)

@@ -1,0 +1,111 @@
+"""Tests for tiled texel address calculation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TextureError
+from repro.texture.addressing import (
+    CACHE_LINE_BYTES,
+    TEXEL_BYTES,
+    TILE_EDGE,
+    TextureLayout,
+)
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+
+
+def _layout(sizes=(32,)):
+    chains = [
+        MipChain(Texture2D(f"t{i}", np.zeros((s, s, 4))))
+        for i, s in enumerate(sizes)
+    ]
+    return TextureLayout(chains), chains
+
+
+class TestAddressUniqueness:
+    def test_all_texels_of_a_level_have_distinct_addresses(self):
+        layout, chains = _layout((16,))
+        ys, xs = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        addrs = layout.texel_addresses(
+            0, np.zeros(256, dtype=np.int64), ys.ravel(), xs.ravel()
+        )
+        assert len(np.unique(addrs)) == 256
+
+    def test_levels_do_not_overlap(self):
+        layout, chains = _layout((16,))
+        a0 = layout.texel_addresses(0, np.array([0]), np.array([15]), np.array([15]))
+        a1 = layout.texel_addresses(0, np.array([1]), np.array([0]), np.array([0]))
+        assert a1[0] > a0[0]
+
+    def test_textures_do_not_overlap(self):
+        layout, chains = _layout((16, 16))
+        last_t0 = layout.texel_addresses(
+            0,
+            np.array([chains[0].max_level]),
+            np.array([0]),
+            np.array([0]),
+        )
+        first_t1 = layout.texel_addresses(1, np.array([0]), np.array([0]), np.array([0]))
+        assert first_t1[0] > last_t0[0]
+
+
+class TestTiledLayout:
+    def test_texels_in_one_tile_share_few_lines(self):
+        # An 8x8 texel tile is 256 bytes = 4 cache lines.
+        layout, _ = _layout((32,))
+        ys, xs = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+        addrs = layout.texel_addresses(
+            0, np.zeros(64, dtype=np.int64), ys.ravel(), xs.ravel()
+        )
+        lines = np.unique(TextureLayout.line_addresses(addrs))
+        assert len(lines) == TILE_EDGE * TILE_EDGE * TEXEL_BYTES // CACHE_LINE_BYTES
+
+    def test_vertical_neighbours_within_tile_are_local(self):
+        # Tiling keeps a 2x2 footprint within at most 2 lines, whereas a
+        # raster-linear layout would spread it across distant rows.
+        layout, _ = _layout((64,))
+        footprint_y = np.array([3, 3, 4, 4])
+        footprint_x = np.array([3, 4, 3, 4])
+        addrs = layout.texel_addresses(
+            0, np.zeros(4, dtype=np.int64), footprint_y, footprint_x
+        )
+        assert len(np.unique(TextureLayout.line_addresses(addrs))) <= 2
+
+    def test_wrap_addressing(self):
+        layout, _ = _layout((16,))
+        a = layout.texel_addresses(0, np.array([0]), np.array([0]), np.array([0]))
+        b = layout.texel_addresses(0, np.array([0]), np.array([16]), np.array([-16]))
+        assert a[0] == b[0]
+
+    def test_levels_are_line_aligned(self):
+        layout, chains = _layout((32,))
+        for lv in range(chains[0].num_levels):
+            addr = layout.texel_addresses(
+                0, np.array([lv]), np.array([0]), np.array([0])
+            )
+            assert addr[0] % CACHE_LINE_BYTES == 0
+
+
+class TestValidation:
+    def test_empty_layout_rejected(self):
+        with pytest.raises(TextureError):
+            TextureLayout([])
+
+    def test_texture_index_bounds(self):
+        layout, _ = _layout((16,))
+        with pytest.raises(TextureError):
+            layout.texel_addresses(1, np.array([0]), np.array([0]), np.array([0]))
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_addresses_inside_allocation(self, y, x, level):
+        layout, _ = _layout((16,))
+        addr = layout.texel_addresses(
+            0, np.array([level]), np.array([y]), np.array([x])
+        )
+        assert 0 <= addr[0] < layout.total_bytes

@@ -1,0 +1,124 @@
+"""Tests for anisotropic filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TextureError
+from repro.texture.anisotropic import aniso_sample_positions, anisotropic_filter
+from repro.texture.footprint import compute_footprints
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+from repro.texture.sampler import trilinear_sample
+
+_TEX = 256
+
+
+def _footprints(dudx, dvdx, dudy, dvdy, max_level=None):
+    return compute_footprints(
+        np.atleast_1d(dudx), np.atleast_1d(dvdx),
+        np.atleast_1d(dudy), np.atleast_1d(dvdy),
+        _TEX, _TEX, max_level=max_level,
+    )
+
+
+@pytest.fixture(scope="module")
+def noise_chain():
+    rng = np.random.default_rng(21)
+    return MipChain(Texture2D("noise", rng.random((_TEX, _TEX, 4))))
+
+
+class TestSamplePositions:
+    def test_single_sample_sits_at_center(self):
+        su, sv = aniso_sample_positions(
+            np.array([0.3]), np.array([0.7]), np.array([0.1]), np.array([0.0]), 1
+        )
+        assert su[0, 0] == pytest.approx(0.3)
+        assert sv[0, 0] == pytest.approx(0.7)
+
+    def test_samples_symmetric_about_center(self):
+        su, sv = aniso_sample_positions(
+            np.array([0.5]), np.array([0.5]), np.array([0.2]), np.array([0.0]), 4
+        )
+        assert su.mean() == pytest.approx(0.5)
+        assert sv.mean() == pytest.approx(0.5)
+
+    def test_samples_span_less_than_major_extent(self):
+        su, _ = aniso_sample_positions(
+            np.array([0.5]), np.array([0.5]), np.array([0.2]), np.array([0.0]), 8
+        )
+        span = su.max() - su.min()
+        assert span == pytest.approx(0.2 * (1 - 1 / 8))
+
+    def test_samples_follow_major_axis_direction(self):
+        su, sv = aniso_sample_positions(
+            np.array([0.5]), np.array([0.5]), np.array([0.0]), np.array([0.3]), 4
+        )
+        assert np.ptp(su) == pytest.approx(0.0)
+        assert np.ptp(sv) > 0.0
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(TextureError):
+            aniso_sample_positions(
+                np.array([0.5]), np.array([0.5]), np.array([0.1]), np.array([0.0]), 0
+            )
+
+
+class TestAnisotropicFilter:
+    def test_color_is_mean_of_constituent_samples(self, noise_chain):
+        fp = _footprints(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        u = np.array([0.4])
+        v = np.array([0.6])
+        result = anisotropic_filter(noise_chain, u, v, fp, np.array([True]), int(fp.n[0]))
+        su, sv = aniso_sample_positions(
+            u, v, fp.major_du, fp.major_dv, int(fp.n[0])
+        )
+        lod = np.broadcast_to(fp.lod_af[:, None], su.shape)
+        expected = trilinear_sample(noise_chain, su, sv, lod).mean(axis=1)
+        assert np.allclose(result.color, expected, atol=1e-6)
+
+    def test_n_one_equals_trilinear(self, noise_chain):
+        fp = _footprints(4 / _TEX, 0.0, 0.0, 4 / _TEX)
+        assert fp.n[0] == 1
+        u = np.array([0.3])
+        v = np.array([0.2])
+        result = anisotropic_filter(noise_chain, u, v, fp, np.array([True]), 1)
+        expected = trilinear_sample(noise_chain, u, v, fp.lod_af)
+        assert np.allclose(result.color, expected, atol=1e-6)
+
+    def test_af_is_sharper_than_tf_on_grazing_checker(self):
+        # The Fig. 3 effect: at a grazing footprint, AF keeps far more
+        # contrast than trilinear at TF's (coarser) LOD. The checker
+        # period is 8 texels so levels 0-2 retain full contrast while
+        # TF's LOD (log2(16) = 4) has mipped to uniform gray.
+        data = ((np.indices((_TEX, _TEX)) // 8).sum(0) % 2).astype(np.float64)
+        chain = MipChain(Texture2D("chk", data))
+        n_frag = 128
+        rng = np.random.default_rng(5)
+        u = rng.random(n_frag)
+        v = rng.random(n_frag)
+        fp = _footprints(
+            np.full(n_frag, 16 / _TEX), np.zeros(n_frag),
+            np.zeros(n_frag), np.full(n_frag, 2 / _TEX),
+        )
+        af = anisotropic_filter(chain, u, v, fp, np.ones(n_frag, bool), int(fp.n[0]))
+        tf = trilinear_sample(chain, u, v, fp.lod_tf)
+        assert af.color[:, 0].std() > tf[:, 0].std()
+
+    def test_mixed_n_group_rejected(self, noise_chain):
+        fp = _footprints(
+            np.array([8 / _TEX, 4 / _TEX]), np.zeros(2),
+            np.zeros(2), np.full(2, 2 / _TEX),
+        )
+        with pytest.raises(TextureError):
+            anisotropic_filter(
+                noise_chain, np.array([0.5, 0.5]), np.array([0.5, 0.5]),
+                fp, np.array([True, True]), 4,
+            )
+
+    def test_sample_keys_shape_matches_n(self, noise_chain):
+        fp = _footprints(6 / _TEX, 0.0, 0.0, 2 / _TEX)
+        result = anisotropic_filter(
+            noise_chain, np.array([0.5]), np.array([0.5]), fp,
+            np.array([True]), int(fp.n[0]),
+        )
+        assert result.sample_keys.shape == (1, fp.n[0])

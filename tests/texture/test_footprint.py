@@ -1,0 +1,115 @@
+"""Tests for footprint / LOD / anisotropy computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TextureError
+from repro.texture.footprint import compute_footprints
+
+_TEX = 256
+
+
+def _fp(dudx, dvdx, dudy, dvdy, **kwargs):
+    return compute_footprints(
+        np.atleast_1d(dudx),
+        np.atleast_1d(dvdx),
+        np.atleast_1d(dudy),
+        np.atleast_1d(dvdy),
+        _TEX,
+        _TEX,
+        **kwargs,
+    )
+
+
+class TestAnisotropyDegree:
+    def test_isotropic_footprint_has_n_one(self):
+        fp = _fp(4 / _TEX, 0.0, 0.0, 4 / _TEX)
+        assert fp.n[0] == 1
+
+    def test_n_equals_axis_ratio(self):
+        # Px = 8 texels, Py = 2 texels -> ratio 4.
+        fp = _fp(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        assert fp.n[0] == 4
+
+    def test_n_is_ceiling_of_ratio(self):
+        # ratio 2.5 -> N = 3.
+        fp = _fp(5 / _TEX, 0.0, 0.0, 2 / _TEX)
+        assert fp.n[0] == 3
+
+    def test_n_clamped_to_max_aniso(self):
+        fp = _fp(200 / _TEX, 0.0, 0.0, 1 / _TEX)
+        assert fp.n[0] == 16
+        fp8 = _fp(200 / _TEX, 0.0, 0.0, 1 / _TEX, max_aniso=8)
+        assert fp8.n[0] == 8
+
+    def test_magnified_fragments_never_need_af(self):
+        # Footprint smaller than one texel: N forced to 1.
+        fp = _fp(0.4 / _TEX, 0.0, 0.0, 0.05 / _TEX)
+        assert fp.n[0] == 1
+
+    @given(
+        st.floats(min_value=0.5, max_value=64.0),
+        st.floats(min_value=0.5, max_value=64.0),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    def test_n_invariant_under_screen_rotation(self, px, py, angle):
+        # Rotating which screen direction maps to the major axis must
+        # not change the anisotropy degree.
+        c, s = np.cos(angle), np.sin(angle)
+        straight = _fp(px / _TEX, 0.0, 0.0, py / _TEX)
+        rotated = _fp(
+            px * c / _TEX, px * s / _TEX, -py * s / _TEX, py * c / _TEX
+        )
+        assert straight.n[0] == rotated.n[0]
+
+
+class TestLodSelection:
+    def test_tf_lod_follows_major_axis(self):
+        fp = _fp(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        assert fp.lod_tf[0] == pytest.approx(3.0)  # log2(8)
+
+    def test_af_lod_is_minor_axis(self):
+        fp = _fp(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        # lod_af = log2(Pmax / N) = log2(8 / 4) = 1.
+        assert fp.lod_af[0] == pytest.approx(1.0)
+
+    def test_af_lod_never_exceeds_tf_lod(self):
+        rng = np.random.default_rng(7)
+        d = rng.uniform(-32 / _TEX, 32 / _TEX, size=(4, 64))
+        fp = _fp(d[0], d[1], d[2], d[3])
+        assert np.all(fp.lod_af <= fp.lod_tf + 1e-12)
+
+    def test_lod_shift_grows_with_anisotropy(self):
+        # The Fig. 15 LOD shift is exactly log2(N) for unclamped LODs.
+        fp = _fp(16 / _TEX, 0.0, 0.0, 2 / _TEX)
+        assert fp.lod_tf[0] - fp.lod_af[0] == pytest.approx(np.log2(fp.n[0]))
+
+    def test_max_level_clamp(self):
+        fp = _fp(10000 / _TEX, 0.0, 0.0, 10000 / _TEX, max_level=5)
+        assert fp.lod_tf[0] == pytest.approx(5.0)
+
+
+class TestMajorAxis:
+    def test_major_axis_picks_larger_direction(self):
+        fp = _fp(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        assert fp.major_du[0] == pytest.approx(8 / _TEX)
+        assert fp.major_dv[0] == pytest.approx(0.0)
+
+    def test_major_axis_flips_with_orientation(self):
+        fp = _fp(2 / _TEX, 0.0, 0.0, 8 / _TEX)
+        assert fp.major_du[0] == pytest.approx(0.0)
+        assert fp.major_dv[0] == pytest.approx(8 / _TEX)
+
+
+class TestValidation:
+    def test_rejects_bad_texture_size(self):
+        with pytest.raises(TextureError):
+            compute_footprints(
+                np.array([0.1]), np.array([0.0]), np.array([0.0]), np.array([0.1]),
+                0, 256,
+            )
+
+    def test_rejects_bad_max_aniso(self):
+        with pytest.raises(TextureError):
+            _fp(0.1, 0.0, 0.0, 0.1, max_aniso=32)

@@ -1,0 +1,69 @@
+"""Edge-case tests for footprint computation: clamps and degeneracy."""
+
+import numpy as np
+import pytest
+
+from repro.texture.footprint import compute_footprints
+
+_TEX = 64
+
+
+def _fp(dudx, dvdx, dudy, dvdy, **kw):
+    return compute_footprints(
+        np.atleast_1d(np.asarray(dudx, float)),
+        np.atleast_1d(np.asarray(dvdx, float)),
+        np.atleast_1d(np.asarray(dudy, float)),
+        np.atleast_1d(np.asarray(dvdy, float)),
+        _TEX, _TEX, **kw,
+    )
+
+
+class TestDegenerateDerivatives:
+    def test_zero_derivatives_are_isotropic(self):
+        fp = _fp(0.0, 0.0, 0.0, 0.0)
+        assert fp.n[0] == 1
+        assert fp.lod_tf[0] == 0.0
+        assert fp.lod_af[0] == 0.0
+
+    def test_one_axis_zero_is_magnification_guarded(self):
+        # Py == 0 would make the ratio infinite; the N=16 clamp and the
+        # magnification guard must both behave.
+        fp = _fp(8.0 / _TEX, 0.0, 0.0, 0.0)
+        assert fp.n[0] == 16  # ratio clamped at max aniso
+        sub = _fp(0.5 / _TEX, 0.0, 0.0, 0.0)
+        assert sub.n[0] == 1  # sub-texel footprint: no AF
+
+    def test_negative_derivatives_same_footprint(self):
+        pos = _fp(8 / _TEX, 0.0, 0.0, 2 / _TEX)
+        neg = _fp(-8 / _TEX, 0.0, 0.0, -2 / _TEX)
+        assert pos.n[0] == neg.n[0]
+        assert pos.lod_tf[0] == neg.lod_tf[0]
+
+    def test_diagonal_footprint_magnitudes(self):
+        # du/dx = dv/dx = 4/sqrt(2) texels gives |Px| = 4 exactly.
+        c = 4.0 / np.sqrt(2.0) / _TEX
+        fp = _fp(c, c, 0.0, 1.0 / _TEX)
+        assert fp.px[0] == pytest.approx(4.0)
+
+
+class TestClamping:
+    def test_huge_footprint_lod_clamped_by_max_level(self):
+        fp = _fp(1e6 / _TEX, 0.0, 0.0, 1e6 / _TEX, max_level=6)
+        assert fp.lod_tf[0] == 6.0
+        assert fp.lod_af[0] == 6.0
+
+    def test_lod_af_floor_at_zero(self):
+        # Anisotropic but magnified along the minor axis: AF LOD >= 0.
+        fp = _fp(4 / _TEX, 0.0, 0.0, 0.1 / _TEX)
+        assert fp.lod_af[0] >= 0.0
+
+    def test_vector_batch_consistency(self):
+        # Batched computation must equal elementwise computation.
+        rng = np.random.default_rng(13)
+        d = rng.uniform(-20 / _TEX, 20 / _TEX, size=(4, 32))
+        batch = _fp(d[0], d[1], d[2], d[3])
+        for i in range(32):
+            single = _fp(d[0, i], d[1, i], d[2, i], d[3, i])
+            assert batch.n[i] == single.n[0]
+            assert batch.lod_tf[i] == pytest.approx(single.lod_tf[0])
+            assert batch.major_du[i] == pytest.approx(single.major_du[0])

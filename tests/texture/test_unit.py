@@ -1,0 +1,84 @@
+"""Tests for the conventional texture unit's capture batch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TextureError
+from repro.texture.addressing import TextureLayout
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+from repro.texture.unit import TEXELS_PER_TRILINEAR, TextureUnit
+
+_TEX = 128
+
+
+@pytest.fixture(scope="module")
+def unit():
+    rng = np.random.default_rng(17)
+    chain = MipChain(Texture2D("t", rng.random((_TEX, _TEX, 4))))
+    return TextureUnit(TextureLayout([chain]))
+
+
+def _batch(unit, n_frag=64, seed=3, aniso=4.0):
+    rng = np.random.default_rng(seed)
+    u = rng.random(n_frag)
+    v = rng.random(n_frag)
+    dudx = np.full(n_frag, aniso * 2 / _TEX)
+    dvdx = np.zeros(n_frag)
+    dudy = np.zeros(n_frag)
+    dvdy = np.full(n_frag, 2 / _TEX)
+    return unit.filter_batch(0, u, v, dudx, dvdx, dudy, dvdy)
+
+
+class TestBatchStructure:
+    def test_csr_row_ptr_matches_n(self, unit):
+        batch = _batch(unit)
+        assert batch.sample_row_ptr[0] == 0
+        assert np.array_equal(np.diff(batch.sample_row_ptr), batch.n)
+        assert batch.sample_keys.shape == (batch.total_af_samples,)
+
+    def test_af_lines_are_eight_per_sample(self, unit):
+        batch = _batch(unit)
+        assert batch.af_lines.shape == (
+            batch.total_af_samples * TEXELS_PER_TRILINEAR,
+        )
+
+    def test_tf_lines_are_eight_per_fragment(self, unit):
+        batch = _batch(unit, n_frag=10)
+        assert batch.tf_lines.shape == (10, TEXELS_PER_TRILINEAR)
+        assert batch.tf_af_lod_lines.shape == (10, TEXELS_PER_TRILINEAR)
+
+    def test_empty_batch_rejected(self, unit):
+        empty = np.array([])
+        with pytest.raises(TextureError):
+            unit.filter_batch(0, empty, empty, empty, empty, empty, empty)
+
+
+class TestFilteringSemantics:
+    def test_anisotropy_propagates(self, unit):
+        batch = _batch(unit, aniso=4.0)
+        assert (batch.n == 4).all()
+
+    def test_af_color_differs_from_tf_on_anisotropic_batch(self, unit):
+        batch = _batch(unit, aniso=8.0)
+        assert np.abs(batch.af_color - batch.tf_color).max() > 0.01
+
+    def test_isotropic_batch_af_equals_tf(self, unit):
+        batch = _batch(unit, aniso=1.0)
+        assert (batch.n == 1).all()
+        assert np.allclose(batch.af_color, batch.tf_color, atol=1e-6)
+        assert np.allclose(batch.af_color, batch.tf_af_lod_color, atol=1e-6)
+        # With N=1 the two LOD variants fetch identical lines too.
+        assert np.array_equal(batch.tf_lines, batch.tf_af_lod_lines)
+
+    def test_af_lod_variant_fetches_finer_level(self, unit):
+        batch = _batch(unit, aniso=8.0)
+        assert np.all(batch.lod_af < batch.lod_tf)
+        # Finer level -> different (lower) addresses than TF's level.
+        assert not np.array_equal(batch.tf_lines, batch.tf_af_lod_lines)
+
+    def test_colors_are_finite_unit_range(self, unit):
+        batch = _batch(unit, n_frag=256, aniso=6.0)
+        for arr in (batch.af_color, batch.tf_color, batch.tf_af_lod_color):
+            assert np.all(np.isfinite(arr))
+            assert arr.min() >= -1e-6 and arr.max() <= 1.0 + 1e-6

@@ -1,0 +1,145 @@
+"""Tests for the texture-pipeline and GPU timing models."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import PipelineError
+from repro.memsys.cache import CacheStats
+from repro.memsys.dram import DramStats
+from repro.memsys.hierarchy import HierarchyStats
+from repro.timing.gpu_timing import FrameTiming, FrameWorkload, GpuTimingModel
+from repro.timing.params import TimingParams
+from repro.timing.texpipe import TexturePipelineModel
+
+
+def _hier(l1_acc=1000, l1_hits=900, l2_acc=100, l2_hits=80, dram_lines=20):
+    h = HierarchyStats()
+    h.l1 = CacheStats(accesses=l1_acc, hits=l1_hits)
+    h.l2 = CacheStats(accesses=l2_acc, hits=l2_hits)
+    h.dram = DramStats(lines_fetched=dram_lines, row_hits=dram_lines // 2)
+    return h
+
+
+def _timing(model, samples=1000, addr=None, checked=0, hier=None):
+    hier = hier or _hier()
+    return model.frame_timing(
+        trilinear_samples=samples,
+        address_samples=addr if addr is not None else samples,
+        checked_pixels=checked,
+        hier=hier,
+        dram_transfer_cycles=hier.dram.bytes_fetched / 16,
+        dram_latency=150.0,
+    )
+
+
+class TestTexturePipeline:
+    def test_filter_throughput_table1(self):
+        cfg = GpuConfig()
+        model = TexturePipelineModel(cfg)
+        t = _timing(model, samples=1600)
+        # 2 cycles per trilinear over 16 pipelines.
+        assert t.filter_cycles == pytest.approx(1600 * 2 / 16)
+
+    def test_busy_is_bottleneck_composition(self):
+        model = TexturePipelineModel(GpuConfig())
+        t = _timing(model)
+        assert t.busy_cycles == max(
+            t.compute_cycles, t.latency_cycles, t.bandwidth_cycles
+        )
+
+    def test_more_samples_more_compute(self):
+        model = TexturePipelineModel(GpuConfig())
+        assert (
+            _timing(model, samples=2000).filter_cycles
+            > _timing(model, samples=1000).filter_cycles
+        )
+
+    def test_patu_checks_add_compute(self):
+        model = TexturePipelineModel(GpuConfig())
+        with_checks = _timing(model, checked=10_000)
+        without = _timing(model, checked=0)
+        assert with_checks.compute_cycles > without.compute_cycles
+
+    def test_l1_hits_cost_no_occupancy(self):
+        model = TexturePipelineModel(GpuConfig())
+        hot = _timing(model, hier=_hier(l1_acc=10_000, l1_hits=10_000,
+                                        l2_acc=0, l2_hits=0, dram_lines=0))
+        assert hot.latency_cycles == 0.0
+
+    def test_negative_counts_rejected(self):
+        model = TexturePipelineModel(GpuConfig())
+        with pytest.raises(PipelineError):
+            _timing(model, samples=-1)
+
+    def test_request_latency_decreases_with_fewer_samples(self):
+        model = TexturePipelineModel(GpuConfig())
+        t = _timing(model)
+        many = model.request_latency(
+            t, num_requests=100, trilinear_samples=800, hier=_hier(),
+            dram_latency=150.0,
+        )
+        few = model.request_latency(
+            t, num_requests=100, trilinear_samples=100, hier=_hier(),
+            dram_latency=150.0,
+        )
+        assert few < many
+
+    def test_request_latency_has_fixed_floor(self):
+        p = TimingParams()
+        model = TexturePipelineModel(GpuConfig(), p)
+        t = _timing(model)
+        ideal = model.request_latency(
+            t, num_requests=1000, trilinear_samples=1000,
+            hier=_hier(l1_acc=8000, l1_hits=8000, l2_acc=0, l2_hits=0,
+                       dram_lines=0),
+            dram_latency=150.0,
+        )
+        assert ideal >= p.request_fixed_cycles + p.l1_hit_latency
+
+
+class TestGpuTiming:
+    def _workload(self, frags=10_000):
+        return FrameWorkload(
+            vertices=500,
+            triangles=300,
+            tile_triangle_pairs=900,
+            fragments_generated=frags,
+            fragments_shaded=frags,
+        )
+
+    def test_total_is_sum_of_phases(self):
+        model = GpuTimingModel(GpuConfig())
+        tex = _timing(TexturePipelineModel(GpuConfig()))
+        ft = model.frame_timing(self._workload(), tex)
+        assert ft.total_cycles == pytest.approx(
+            ft.geometry_cycles + ft.raster_cycles
+            + ft.fragment_phase_cycles + ft.fixed_cycles
+        )
+
+    def test_fragment_phase_partial_overlap(self):
+        ft = FrameTiming(
+            geometry_cycles=0, raster_cycles=0, shader_cycles=100,
+            texture_busy_cycles=60, fixed_cycles=0, texture_overlap=0.35,
+        )
+        assert ft.fragment_phase_cycles == pytest.approx(100 + 0.65 * 60)
+
+    def test_perfect_overlap_is_max(self):
+        ft = FrameTiming(
+            geometry_cycles=0, raster_cycles=0, shader_cycles=100,
+            texture_busy_cycles=60, fixed_cycles=0, texture_overlap=1.0,
+        )
+        assert ft.fragment_phase_cycles == pytest.approx(100)
+
+    def test_fps_inversely_proportional_to_cycles(self):
+        model = GpuTimingModel(GpuConfig())
+        tex = _timing(TexturePipelineModel(GpuConfig()))
+        small = model.frame_timing(self._workload(1000), tex)
+        large = model.frame_timing(self._workload(1_000_000), tex)
+        assert model.fps(small) > model.fps(large)
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(PipelineError):
+            FrameWorkload(
+                vertices=-1, triangles=0, tile_triangle_pairs=0,
+                fragments_generated=0, fragments_shaded=0,
+            )

@@ -1,0 +1,84 @@
+"""Tests for the stereo (VR) workload extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.games import get_workload
+from repro.workloads.vr import DEFAULT_IPD, vr_workload
+
+
+class TestStereoConstruction:
+    def test_doubles_frames(self):
+        base = get_workload("wolf-640x480")
+        stereo = vr_workload("wolf-640x480")
+        assert stereo.num_frames == 2 * base.num_frames
+        assert stereo.abbr == "VR-wolf"
+        assert stereo.scene is base.scene
+
+    def test_time_steps_limit(self):
+        stereo = vr_workload("wolf-640x480", time_steps=3)
+        assert stereo.num_frames == 6
+        with pytest.raises(WorkloadError):
+            vr_workload("wolf-640x480", time_steps=100)
+
+    def test_rejects_bad_ipd(self):
+        with pytest.raises(WorkloadError):
+            vr_workload("wolf-640x480", ipd=0.0)
+
+
+class TestEyeGeometry:
+    def test_eyes_separated_by_ipd(self):
+        stereo = vr_workload("wolf-640x480", ipd=0.1)
+        left = np.asarray(stereo.camera(0).eye)
+        right = np.asarray(stereo.camera(1).eye)
+        assert np.linalg.norm(right - left) == pytest.approx(0.1)
+
+    def test_eyes_share_view_direction(self):
+        stereo = vr_workload("doom3-640x480")
+        left = stereo.camera(0)
+        right = stereo.camera(1)
+        d_left = np.asarray(left.target) - np.asarray(left.eye)
+        d_right = np.asarray(right.target) - np.asarray(right.eye)
+        assert np.allclose(d_left, d_right)
+
+    def test_midpoint_is_base_camera(self):
+        base = get_workload("wolf-640x480")
+        stereo = vr_workload("wolf-640x480")
+        mid = (
+            np.asarray(stereo.camera(0).eye) + np.asarray(stereo.camera(1).eye)
+        ) / 2
+        assert np.allclose(mid, np.asarray(base.camera(0).eye), atol=1e-12)
+
+    def test_offset_is_horizontal(self):
+        stereo = vr_workload("wolf-640x480")
+        left = np.asarray(stereo.camera(0).eye)
+        right = np.asarray(stereo.camera(1).eye)
+        # The camera's up is +Y; eye offset must be perpendicular to it.
+        assert (right - left)[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_time_advances_every_two_frames(self):
+        stereo = vr_workload("wolf-640x480")
+        eye0 = np.asarray(stereo.camera(0).eye)
+        eye2 = np.asarray(stereo.camera(2).eye)
+        assert not np.allclose(eye0, eye2)
+
+
+class TestStereoRendering:
+    def test_eyes_agree_on_approximation(self, session):
+        """The paper-level claim the extension experiment relies on."""
+        from repro.core.scenarios import SCENARIOS
+        from repro.renderer.session import RenderSession
+
+        small = RenderSession(scale=1.0, scale_caches=False)
+        stereo = vr_workload("wolf-640x480", time_steps=1)
+        rates = []
+        for frame in (0, 1):
+            # Render at a very small size for speed.
+            import dataclasses
+
+            tiny = dataclasses.replace(stereo, width=128, height=96)
+            capture = small.capture_frame(tiny, frame)
+            r = small.evaluate(capture, SCENARIOS["patu"], 0.4)
+            rates.append(r.approximation_rate)
+        assert rates[0] == pytest.approx(rates[1], abs=0.1)
