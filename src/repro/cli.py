@@ -10,6 +10,14 @@ Subcommands:
   (PGM) to a directory.
 * ``compare <workload>`` — the quickstart comparison of all four
   design scenarios on one frame.
+* ``profile <workload>`` — render N frames with telemetry on, print a
+  per-stage time/counter table and write ``trace.json`` (Perfetto /
+  ``chrome://tracing``) plus ``metrics.jsonl`` (one record per frame).
+
+``experiment``/``render``/``compare``/``report`` accept ``--trace`` and
+``--metrics`` to capture the same artifacts for any run, and
+``--verbose`` for per-stage progress on stderr. Result tables go to
+stdout; informational messages go to stderr, so stdout stays pipeable.
 """
 
 from __future__ import annotations
@@ -22,18 +30,100 @@ import numpy as np
 
 from .core.patu import FilterMode, PerceptionAwareTextureUnit
 from .core.scenarios import SCENARIOS, get_scenario
-from .errors import ReproError
+from .errors import ReproError, WorkloadError
 from .experiments import REGISTRY, ExperimentContext
-from .experiments.runner import DEFAULT_WORKLOADS, format_table
+from .experiments.runner import DEFAULT_WORKLOADS, format_table, run_experiment
+from .obs import TELEMETRY, write_chrome_trace, write_metrics_jsonl
 from .quality.imageio import write_pgm, write_ppm
 from .quality.ssim import ssim_map
 from .renderer.session import RenderSession
 from .workloads.games import get_workload, workload_names
 
 
+def _info(message: str) -> None:
+    """Informational output goes to stderr; stdout stays pipeable."""
+    print(message, file=sys.stderr)
+
+
 def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.25,
                         help="render-resolution scale factor (default 0.25)")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome/Perfetto trace JSON here")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write per-frame metrics JSONL here")
+    parser.add_argument("--verbose", action="store_true",
+                        help="per-stage progress lines on stderr")
+
+
+def _metrics_path(args) -> "str | None":
+    return getattr(args, "metrics", None) or getattr(args, "emit_metrics", None)
+
+
+def _obs_begin(args) -> None:
+    """Arm telemetry / progress reporting from the parsed flags."""
+    if getattr(args, "trace", None) or _metrics_path(args):
+        TELEMETRY.reset()
+        TELEMETRY.enabled = True
+    if getattr(args, "verbose", False):
+        TELEMETRY.progress_sink = _info
+
+
+def _obs_end(args) -> bool:
+    """Write requested artifacts, then disarm telemetry.
+
+    Returns False if an artifact could not be written (the run itself
+    already finished; the caller maps this to a non-zero exit).
+    """
+    ok = True
+    try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path and TELEMETRY.enabled:
+            try:
+                write_chrome_trace(TELEMETRY, trace_path)
+                _info(f"wrote trace to {trace_path}")
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                ok = False
+        metrics_path = _metrics_path(args)
+        if metrics_path and TELEMETRY.enabled:
+            try:
+                write_metrics_jsonl(TELEMETRY.frame_records, metrics_path)
+                _info(f"wrote {len(TELEMETRY.frame_records)} frame record(s) "
+                      f"to {metrics_path}")
+            except OSError as exc:
+                print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+                ok = False
+    finally:
+        TELEMETRY.enabled = False
+        TELEMETRY.progress_sink = None
+    return ok
+
+
+def _resolve_workload(name: str):
+    """Find a workload by exact name, or fuzzily by game abbreviation.
+
+    ``hl2`` (any case) resolves to the smallest-resolution HL2 config,
+    so quick profiling runs don't need the full ``HL2-640x480`` name.
+    """
+    names = workload_names()
+    lowered = name.lower()
+    for candidate in names:
+        if candidate.lower() == lowered:
+            return get_workload(candidate)
+    matches = [n for n in names if n.split("-", 1)[0].lower() == lowered]
+    if matches:
+        def pixel_count(workload_name: str) -> int:
+            width, height = workload_name.rsplit("-", 1)[1].split("x")
+            return int(width) * int(height)
+
+        return get_workload(min(matches, key=pixel_count))
+    raise WorkloadError(
+        f"unknown workload {name!r}; available: {sorted(names)}"
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -55,7 +145,7 @@ def _cmd_experiment(args) -> int:
     ctx = ExperimentContext(
         scale=args.scale, frames=args.frames, workloads=workloads
     )
-    result = REGISTRY[args.id].run(ctx)
+    result = run_experiment(args.id, REGISTRY[args.id], ctx)
     print(format_table(result))
     if args.plot:
         chart = _plot_result(result)
@@ -66,7 +156,7 @@ def _cmd_experiment(args) -> int:
     if args.out:
         path = pathlib.Path(args.out)
         path.write_text(format_table(result))
-        print(f"wrote {path}")
+        _info(f"wrote {path}")
     return 0
 
 
@@ -102,7 +192,7 @@ def _plot_result(result) -> "str | None":
 
 def _cmd_render(args) -> int:
     session = RenderSession(scale=args.scale)
-    workload = get_workload(args.workload)
+    workload = _resolve_workload(args.workload)
     scenario = get_scenario(args.scenario)
     capture = session.capture_frame(workload, args.frame)
     result = session.evaluate(
@@ -130,7 +220,7 @@ def _cmd_render(args) -> int:
         index_map = ssim_map(result.luminance, capture.baseline_luminance)
         write_pgm(out / "ssim_map.pgm", (index_map + 1.0) / 2.0)
 
-    print(f"wrote frame.ppm / baseline_luminance.pgm / ssim_map.pgm to {out}")
+    _info(f"wrote frame.ppm / baseline_luminance.pgm / ssim_map.pgm to {out}")
     print(f"MSSIM {result.mssim:.3f}, approximation rate "
           f"{result.approximation_rate:.1%}")
     return 0
@@ -149,13 +239,13 @@ def _cmd_report(args) -> int:
     out = pathlib.Path(args.out)
     out.write_text(text)
     print(text.split("## Experiment tables")[0])
-    print(f"full report written to {out}")
+    _info(f"full report written to {out}")
     return 0
 
 
 def _cmd_compare(args) -> int:
     session = RenderSession(scale=args.scale)
-    workload = get_workload(args.workload)
+    workload = _resolve_workload(args.workload)
     capture = session.capture_frame(workload, args.frame)
     baseline = session.evaluate(capture, SCENARIOS["baseline"], 1.0)
     print(f"{workload.name}: {capture.num_pixels} pixels, "
@@ -169,6 +259,24 @@ def _cmd_compare(args) -> int:
               f"{r.mssim:>8.3f}"
               f"{r.total_energy_nj / baseline.total_energy_nj:>8.2f}"
               f"{r.approximation_rate:>8.1%}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Render N frames with telemetry on; table to stdout, files to disk."""
+    workload = _resolve_workload(args.workload)
+    scenario = get_scenario(args.scenario)
+    session = RenderSession(scale=args.scale)
+    with TELEMETRY.span(
+        "profile", workload=workload.name, frames=args.frames
+    ):
+        for frame in range(args.frames):
+            capture = session.capture_frame(workload, frame)
+            session.evaluate(capture, scenario, args.threshold)
+    print(f"== profile: {workload.name} x{args.frames} frame(s), "
+          f"scenario {scenario.name} @ {args.threshold:g}, "
+          f"scale {args.scale:g} ==\n")
+    print(TELEMETRY.format_summary())
     return 0
 
 
@@ -187,7 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--out", default=None, help="also write the table here")
     p_exp.add_argument("--plot", action="store_true",
                        help="render an ASCII chart of the average rows")
+    p_exp.add_argument("--emit-metrics", metavar="PATH", default=None,
+                       dest="emit_metrics",
+                       help="write per-frame metrics JSONL here "
+                            "(alias of --metrics)")
     _add_session_args(p_exp)
+    _add_obs_args(p_exp)
 
     p_render = sub.add_parser("render", help="render a frame to image files")
     p_render.add_argument("workload")
@@ -197,12 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--threshold", type=float, default=0.4)
     p_render.add_argument("--out", default="render_out")
     _add_session_args(p_render)
+    _add_obs_args(p_render)
 
     p_cmp = sub.add_parser("compare", help="compare the four designs")
     p_cmp.add_argument("workload")
     p_cmp.add_argument("--frame", type=int, default=0)
     p_cmp.add_argument("--threshold", type=float, default=0.4)
     _add_session_args(p_cmp)
+    _add_obs_args(p_cmp)
 
     p_rep = sub.add_parser("report", help="run experiments, build a report")
     p_rep.add_argument("--experiments", nargs="*", default=None,
@@ -211,6 +326,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--workloads", nargs="*", default=None)
     p_rep.add_argument("--out", default="report.md")
     _add_session_args(p_rep)
+    _add_obs_args(p_rep)
+
+    p_prof = sub.add_parser(
+        "profile", help="render frames with telemetry, export trace + metrics"
+    )
+    p_prof.add_argument("workload",
+                        help="workload name or game abbreviation (e.g. hl2)")
+    p_prof.add_argument("--frames", type=int, default=2)
+    p_prof.add_argument("--scenario", default="patu", choices=sorted(SCENARIOS))
+    p_prof.add_argument("--threshold", type=float, default=0.4)
+    _add_session_args(p_prof)
+    p_prof.add_argument("--trace", metavar="PATH", default="trace.json",
+                        help="Chrome/Perfetto trace output (default trace.json)")
+    p_prof.add_argument("--metrics", metavar="PATH", default="metrics.jsonl",
+                        help="per-frame metrics output (default metrics.jsonl)")
+    p_prof.add_argument("--verbose", action="store_true",
+                        help="per-stage progress lines on stderr")
 
     return parser
 
@@ -223,12 +355,19 @@ def main(argv=None) -> int:
         "render": _cmd_render,
         "compare": _cmd_compare,
         "report": _cmd_report,
+        "profile": _cmd_profile,
     }
+    _obs_begin(args)
+    rc = 0
     try:
-        return handlers[args.command](args)
+        rc = handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        rc = 1
+    finally:
+        if not _obs_end(args):
+            rc = rc or 1
+    return rc
 
 
 if __name__ == "__main__":

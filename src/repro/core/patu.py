@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import TELEMETRY
 from .predictor import PredictionResult, TwoStagePredictor
 from .scenarios import Scenario
 
@@ -64,6 +65,22 @@ class PatuDecision:
     def approximation_rate(self) -> float:
         return self.prediction.approximation_rate
 
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-ready summary (for the metrics JSONL sink and tooling)."""
+        return {
+            "pixels": int(self.mode.size),
+            "stage1_approved": int(self.prediction.stage1.sum()),
+            "stage2_approved": int(self.prediction.stage2.sum()),
+            "approximated": int(self.prediction.approximated.sum()),
+            "approximation_rate": self.approximation_rate,
+            "total_trilinear": self.total_trilinear,
+            "total_address_work": self.total_address_work,
+            "total_hash_insertions": self.total_hash_insertions,
+            "mode_counts": {
+                mode.name: int((self.mode == mode).sum()) for mode in FilterMode
+            },
+        }
+
 
 class PerceptionAwareTextureUnit:
     """PATU's decision logic for one (scenario, threshold) pair.
@@ -101,47 +118,59 @@ class PerceptionAwareTextureUnit:
                 hash-table contents.
         """
         n = np.asarray(n, dtype=np.int64)
-        pred = self._predictor.predict(n, txds)
-        if self.hash_entries < 16 and self.scenario.use_stage2:
-            # Pixels overflowing the shrunken table lose their stage-2
-            # prediction; keep stage-1 results, drop stage-2 ones.
-            fits = n <= self.hash_entries
-            pred = PredictionResult(
-                stage1=pred.stage1,
-                stage2=pred.stage2 & fits,
-                approximated=pred.stage1 | (pred.stage2 & fits),
-                predicted_n=pred.predicted_n,
-                predicted_txds=pred.predicted_txds,
+        with TELEMETRY.span("patu.decide", pixels=int(n.size)):
+            pred = self._predictor.predict(n, txds)
+            if self.hash_entries < 16 and self.scenario.use_stage2:
+                # Pixels overflowing the shrunken table lose their stage-2
+                # prediction; keep stage-1 results, drop stage-2 ones.
+                fits = n <= self.hash_entries
+                pred = PredictionResult(
+                    stage1=pred.stage1,
+                    stage2=pred.stage2 & fits,
+                    approximated=pred.stage1 | (pred.stage2 & fits),
+                    predicted_n=pred.predicted_n,
+                    predicted_txds=pred.predicted_txds,
+                )
+
+            mode = np.full(n.shape, FilterMode.AF, dtype=np.uint8)
+            tf_mode = FilterMode.TF_AF_LOD if self.scenario.lod_reuse else FilterMode.TF_TF_LOD
+            mode[pred.approximated] = tf_mode
+            # Pixels that never needed AF run plain trilinear at their own LOD
+            # (lod_af == lod_tf when N == 1, so the distinction is moot there).
+            mode[(n <= 1) & (mode == FilterMode.AF)] = FilterMode.TF_TF_LOD
+
+            trilinear = np.where(mode == FilterMode.AF, n, 1)
+
+            # Address work: stage-1 approximated pixels compute only the one TF
+            # sample; pixels that reached stage 2 computed all N AF samples, and
+            # if approximated there, one more recalculated TF sample.
+            address = np.where(pred.stage1, 1, n)
+            address = address + pred.stage2.astype(np.int64)
+
+            # Hash-table insertions: only pixels that entered stage 2's check
+            # (stage 2 enabled, survived stage 1, genuinely anisotropic).
+            if self.scenario.use_stage2:
+                entered = ~pred.stage1 & (n > 1)
+                # A shrunken table stops accepting keys once full.
+                insertions = np.where(entered, np.minimum(n, self.hash_entries), 0)
+            else:
+                insertions = np.zeros(n.shape, dtype=np.int64)
+
+            decision = PatuDecision(
+                prediction=pred,
+                mode=mode,
+                trilinear_samples=trilinear.astype(np.int64),
+                address_samples=address.astype(np.int64),
+                hash_insertions=insertions.astype(np.int64),
             )
-
-        mode = np.full(n.shape, FilterMode.AF, dtype=np.uint8)
-        tf_mode = FilterMode.TF_AF_LOD if self.scenario.lod_reuse else FilterMode.TF_TF_LOD
-        mode[pred.approximated] = tf_mode
-        # Pixels that never needed AF run plain trilinear at their own LOD
-        # (lod_af == lod_tf when N == 1, so the distinction is moot there).
-        mode[(n <= 1) & (mode == FilterMode.AF)] = FilterMode.TF_TF_LOD
-
-        trilinear = np.where(mode == FilterMode.AF, n, 1)
-
-        # Address work: stage-1 approximated pixels compute only the one TF
-        # sample; pixels that reached stage 2 computed all N AF samples, and
-        # if approximated there, one more recalculated TF sample.
-        address = np.where(pred.stage1, 1, n)
-        address = address + pred.stage2.astype(np.int64)
-
-        # Hash-table insertions: only pixels that entered stage 2's check
-        # (stage 2 enabled, survived stage 1, genuinely anisotropic).
-        if self.scenario.use_stage2:
-            entered = ~pred.stage1 & (n > 1)
-            # A shrunken table stops accepting keys once full.
-            insertions = np.where(entered, np.minimum(n, self.hash_entries), 0)
-        else:
-            insertions = np.zeros(n.shape, dtype=np.int64)
-
-        return PatuDecision(
-            prediction=pred,
-            mode=mode,
-            trilinear_samples=trilinear.astype(np.int64),
-            address_samples=address.astype(np.int64),
-            hash_insertions=insertions.astype(np.int64),
-        )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("patu.pixels", int(n.size))
+            TELEMETRY.count("patu.stage1_approved", int(pred.stage1.sum()))
+            TELEMETRY.count("patu.stage2_approved", int(pred.stage2.sum()))
+            TELEMETRY.count("patu.hash_insertions", decision.total_hash_insertions)
+            # Stage-2 approvals pay a one-sample address recalculation
+            # (the late-recalculation overhead of Section V-B).
+            TELEMETRY.count("patu.late_recalc_samples", int(pred.stage2.sum()))
+            TELEMETRY.count("patu.trilinear_samples", decision.total_trilinear)
+            TELEMETRY.count("patu.address_samples", decision.total_address_work)
+        return decision

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import TELEMETRY
 from .af_ssim import af_ssim_n, af_ssim_txds
 from .scenarios import Scenario
 
@@ -100,6 +101,17 @@ class TwoStagePredictor:
             stage2 = (pred_t > self.stage2_threshold) & ~stage1 & ~no_af_needed
         else:
             stage2 = np.zeros(n.shape, dtype=bool)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("predictor.pixels", n.size)
+            if self.scenario.use_stage1:
+                TELEMETRY.count(
+                    "predictor.stage1_checked", int((~no_af_needed).sum())
+                )
+            if self.scenario.use_stage2:
+                TELEMETRY.count(
+                    "predictor.stage2_checked",
+                    int((~stage1 & ~no_af_needed).sum()),
+                )
         return PredictionResult(
             stage1=stage1,
             stage2=stage2,

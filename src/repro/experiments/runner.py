@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..config import BASELINE_CONFIG, GpuConfig
 from ..core.scenarios import get_scenario
 from ..errors import ExperimentError
+from ..obs import TELEMETRY
 from ..renderer.session import FrameCapture, FrameResult, RenderSession
 from ..workloads.games import get_workload, workload_names
 from ..workloads.rbench import rbench_workload
@@ -74,6 +75,22 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def run_experiment(exp_id: str, module, ctx: "ExperimentContext") -> ExperimentResult:
+    """Run one experiment module under a telemetry span.
+
+    ``module`` is an entry of :data:`repro.experiments.REGISTRY` (passed
+    in by the caller to keep this module import-cycle free).
+    """
+    TELEMETRY.progress(f"experiment {exp_id}: starting "
+                       f"({ctx.frames} frame(s), scale {ctx.scale:g})")
+    with TELEMETRY.span(
+        f"experiment.{exp_id}", workloads=len(ctx.workload_list)
+    ):
+        result = module.run(ctx)
+    TELEMETRY.progress(f"experiment {exp_id}: {len(result.rows)} rows")
+    return result
+
+
 class ExperimentContext:
     """A render session plus caches shared across experiments."""
 
@@ -106,6 +123,7 @@ class ExperimentContext:
     def capture(self, workload_name: str, frame: int) -> FrameCapture:
         key = (workload_name, frame)
         if key not in self._captures:
+            TELEMETRY.count("experiment.captures")
             self._captures[key] = self.session.capture_frame(
                 self.workload(workload_name), frame
             )
@@ -124,6 +142,7 @@ class ExperimentContext:
         """Evaluate (and cache) one design point on one frame."""
         key = (workload_name, frame, scenario, round(threshold, 6), llc_scale, tc_scale)
         if key not in self._results:
+            TELEMETRY.count("experiment.evaluations")
             session = self._session_for(llc_scale, tc_scale)
             self._results[key] = session.evaluate(
                 self.capture(workload_name, frame),

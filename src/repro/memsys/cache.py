@@ -40,6 +40,15 @@ class CacheStats:
         self.accesses += other.accesses
         self.hits += other.hits
 
+    def to_dict(self) -> "dict[str, float]":
+        """JSON-ready snapshot (for the metrics JSONL sink and tooling)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
 
 def collapse_consecutive(lines: np.ndarray) -> "tuple[np.ndarray, int]":
     """Drop consecutive duplicate addresses.

@@ -43,6 +43,15 @@ class DramStats:
             return 0.0
         return self.row_hits / self.lines_fetched
 
+    def to_dict(self) -> "dict[str, float]":
+        """JSON-ready snapshot (for the metrics JSONL sink and tooling)."""
+        return {
+            "lines_fetched": self.lines_fetched,
+            "row_hits": self.row_hits,
+            "bytes_fetched": self.bytes_fetched,
+            "row_hit_rate": self.row_hit_rate,
+        }
+
 
 class DramModel:
     """Bandwidth and latency estimates for a miss stream."""

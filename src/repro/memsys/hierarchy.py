@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import GpuConfig
 from ..errors import PipelineError
+from ..obs import TELEMETRY
 from .cache import CacheSim, CacheStats
 from .dram import DramModel, DramStats
 
@@ -35,6 +36,14 @@ class HierarchyStats:
     @property
     def dram_bytes(self) -> int:
         return self.dram.bytes_fetched
+
+    def to_dict(self) -> "dict[str, dict]":
+        """JSON-ready snapshot (for the metrics JSONL sink and tooling)."""
+        return {
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "dram": self.dram.to_dict(),
+        }
 
 
 class TextureMemoryHierarchy:
@@ -61,24 +70,32 @@ class TextureMemoryHierarchy:
                 scheduling order. Each entry is one tile's fetch stream,
                 already in intra-tile raster order.
         """
-        self.reset()
-        stats = HierarchyStats()
-        l2_miss_segments: "list[np.ndarray]" = []
-        for unit, lines in tile_streams:
-            if not 0 <= unit < len(self._l1s):
-                raise PipelineError(f"texture unit index {unit} out of range")
-            l1_misses = self._l1s[unit].access(lines)
-            if l1_misses.size:
-                l2_miss_segments.append(self._l2.access(l1_misses))
+        with TELEMETRY.span("memsys.process_frame", tiles=len(tile_streams)):
+            self.reset()
+            stats = HierarchyStats()
+            l2_miss_segments: "list[np.ndarray]" = []
+            for unit, lines in tile_streams:
+                if not 0 <= unit < len(self._l1s):
+                    raise PipelineError(f"texture unit index {unit} out of range")
+                l1_misses = self._l1s[unit].access(lines)
+                if l1_misses.size:
+                    l2_miss_segments.append(self._l2.access(l1_misses))
 
-        for l1 in self._l1s:
-            stats.l1.merge(l1.stats)
-        stats.l2.merge(self._l2.stats)
-        if l2_miss_segments:
-            all_misses = np.concatenate(l2_miss_segments)
-        else:
-            all_misses = np.empty(0, dtype=np.int64)
-        stats.dram = self._dram.observe(all_misses)
+            for l1 in self._l1s:
+                stats.l1.merge(l1.stats)
+            stats.l2.merge(self._l2.stats)
+            if l2_miss_segments:
+                all_misses = np.concatenate(l2_miss_segments)
+            else:
+                all_misses = np.empty(0, dtype=np.int64)
+            stats.dram = self._dram.observe(all_misses)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("memsys.l1_hit", stats.l1.hits)
+            TELEMETRY.count("memsys.l1_miss", stats.l1.misses)
+            TELEMETRY.count("memsys.l2_hit", stats.l2.hits)
+            TELEMETRY.count("memsys.l2_miss", stats.l2.misses)
+            TELEMETRY.count("memsys.dram_lines", stats.dram.lines_fetched)
+            TELEMETRY.count("memsys.dram_bytes", stats.dram.bytes_fetched)
         return stats
 
     def dram_transfer_cycles(self, stats: HierarchyStats) -> float:

@@ -1,0 +1,45 @@
+"""End-to-end telemetry: stage timers, counters, trace + metrics export.
+
+Usage at an instrumentation site::
+
+    from ..obs import TELEMETRY
+
+    with TELEMETRY.span("texture.filter_batch", fragments=count):
+        ...
+    if TELEMETRY.enabled:
+        TELEMETRY.count("texture.trilinear_samples", samples)
+
+Telemetry is off by default; ``python -m repro profile`` and the
+``--trace``/``--metrics`` CLI flags enable it for one run. See
+``docs/observability.md`` for the full API, the counter naming
+convention and the export formats.
+"""
+
+from .jsonl import jsonable, read_metrics_jsonl, write_metrics_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    validate_metric_name,
+)
+from .telemetry import NOOP_SPAN, SpanRecord, Telemetry, TELEMETRY, get_telemetry
+from .trace import trace_events, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NOOP_SPAN",
+    "SpanRecord",
+    "TELEMETRY",
+    "Telemetry",
+    "get_telemetry",
+    "jsonable",
+    "read_metrics_jsonl",
+    "trace_events",
+    "validate_metric_name",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

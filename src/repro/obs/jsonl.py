@@ -1,0 +1,52 @@
+"""Per-frame metrics JSONL sink.
+
+One JSON object per line, one line per frame record (see
+:meth:`repro.obs.telemetry.Telemetry.frame_record` for the schema).
+``jsonable`` converts numpy scalars/arrays so that model outputs can be
+serialized without callers sanitizing them first.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+
+def jsonable(value):
+    """Recursively convert a value into plain JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def write_metrics_jsonl(records: "list[dict]", path) -> pathlib.Path:
+    """Write frame records as one JSON object per line."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(jsonable(record)))
+            handle.write("\n")
+    return path
+
+
+def read_metrics_jsonl(path) -> "list[dict]":
+    """Parse a metrics JSONL file back into records."""
+    records = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,129 @@
+"""Typed metric primitives: counters, gauges, histograms.
+
+Metrics are named ``<subsystem>.<noun>`` (``texture.trilinear_samples``,
+``memsys.l1_miss``) and live in a :class:`MetricRegistry`. Counters are
+monotonically increasing event totals; gauges hold the last observed
+value; histograms keep a bounded summary (count/sum/min/max) so that
+arbitrarily long runs never grow memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+def validate_metric_name(name: str) -> str:
+    """Enforce the ``<subsystem>.<noun>`` naming convention."""
+    if not isinstance(name, str) or "." not in name.strip("."):
+        raise ReproError(
+            f"metric name {name!r} must follow '<subsystem>.<noun>' "
+            "(e.g. 'texture.trilinear_samples')"
+        )
+    return name
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event total."""
+
+    name: str
+    value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """The most recent observation of an instantaneous quantity."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A bounded summary of a stream of observations."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> "dict[str, float]":
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricRegistry:
+    """Name-keyed store for all three metric kinds."""
+
+    def __init__(self) -> None:
+        self.counters: "dict[str, Counter]" = {}
+        self.gauges: "dict[str, Gauge]" = {}
+        self.histograms: "dict[str, Histogram]" = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(validate_metric_name(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(validate_metric_name(name))
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(validate_metric_name(name))
+        return metric
+
+    def counter_totals(self) -> "dict[str, float]":
+        """Current counter values, for delta snapshots."""
+        return {name: c.value for name, c in self.counters.items()}
+
+    def summary(self) -> "dict[str, dict]":
+        """Everything, JSON-ready."""
+        return {
+            "counters": self.counter_totals(),
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: h.summary() for name, h in self.histograms.items()
+            },
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

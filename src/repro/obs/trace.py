@@ -1,0 +1,77 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Serializes a :class:`~repro.obs.telemetry.Telemetry` registry's spans
+as complete (``ph: "X"``) events and its counters as counter
+(``ph: "C"``) events sampled at each frame-record boundary, in the
+Trace Event Format that both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .jsonl import jsonable
+from .telemetry import Telemetry
+
+#: Synthetic process/thread ids shown in the trace viewer.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def trace_events(telemetry: Telemetry) -> "list[dict]":
+    """Build the ``traceEvents`` list for one telemetry registry."""
+    events: "list[dict]" = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for span in telemetry.spans:
+        event = {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round(span.start_us, 3),
+            "dur": round(span.dur_us, 3),
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+        }
+        if span.args:
+            event["args"] = jsonable(span.args)
+        events.append(event)
+    # Counter tracks: cumulative totals sampled at each frame boundary.
+    running: "dict[str, float]" = {}
+    for record in telemetry.frame_records:
+        ts = record.get("ts_us")
+        if ts is None:
+            continue
+        for name, delta in record.get("counters", {}).items():
+            running[name] = running.get(name, 0) + delta
+            events.append(
+                {
+                    "name": name,
+                    "cat": name.split(".", 1)[0],
+                    "ph": "C",
+                    "ts": round(float(ts), 3),
+                    "pid": TRACE_PID,
+                    "args": {"value": jsonable(running[name])},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(telemetry: Telemetry, path) -> pathlib.Path:
+    """Write ``path`` as a Perfetto-loadable trace JSON file."""
+    path = pathlib.Path(path)
+    document = {
+        "traceEvents": trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": jsonable(telemetry.metrics.summary())},
+    }
+    path.write_text(json.dumps(document))
+    return path

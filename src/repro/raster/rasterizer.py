@@ -42,6 +42,16 @@ class RasterStats:
             return 0.0
         return self.fragments_generated / self.fragments_passed_depth
 
+    def to_dict(self) -> "dict[str, float]":
+        """JSON-ready snapshot (for the metrics JSONL sink and tooling)."""
+        return {
+            "triangles_submitted": self.triangles_submitted,
+            "triangles_rasterized": self.triangles_rasterized,
+            "fragments_generated": self.fragments_generated,
+            "fragments_passed_depth": self.fragments_passed_depth,
+            "overdraw": self.overdraw,
+        }
+
 
 class Rasterizer:
     """Rasterizes clip-space triangles into a :class:`GBuffer`."""

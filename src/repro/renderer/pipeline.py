@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import PipelineError
 from ..geometry.camera import Camera
+from ..obs import TELEMETRY
 from ..geometry.clipping import clip_triangles_near
 from ..geometry.culling import cull_backfaces
 from ..geometry.tiling import TilingEngine
@@ -71,9 +72,12 @@ def render_gbuffer(
             tid = len(texture_names)
             tex_index[mesh.texture] = tid
             texture_names.append(mesh.texture)
-        tris = transform_mesh(mesh, mvp)
-        tris = clip_triangles_near(tris)
-        tris = cull_backfaces(tris)
+        with TELEMETRY.span("geometry.transform"):
+            tris = transform_mesh(mesh, mvp)
+        with TELEMETRY.span("geometry.clip"):
+            tris = clip_triangles_near(tris)
+        with TELEMETRY.span("geometry.cull"):
+            tris = cull_backfaces(tris)
         if tris.num_triangles == 0:
             continue
         triangles_after_cull += tris.num_triangles
@@ -84,10 +88,23 @@ def render_gbuffer(
         sx = (ndc[:, :, 0] + 1.0) * 0.5 * width
         sy = (1.0 - ndc[:, :, 1]) * 0.5 * height
         screen_tris.append(np.stack([sx, sy], axis=-1))
-        rasterizer.draw(tris, tid)
+        with TELEMETRY.span("raster.draw", triangles=tris.num_triangles):
+            rasterizer.draw(tris, tid)
 
     if screen_tris:
-        tiling.bin_triangles(np.concatenate(screen_tris, axis=0))
+        with TELEMETRY.span("geometry.tile"):
+            tiling.bin_triangles(np.concatenate(screen_tris, axis=0))
+
+    if TELEMETRY.enabled:
+        stats = rasterizer.stats
+        TELEMETRY.count("geometry.vertices", vertices)
+        TELEMETRY.count("geometry.triangles_submitted", stats.triangles_submitted)
+        TELEMETRY.count("geometry.triangles_after_cull", triangles_after_cull)
+        TELEMETRY.count("raster.triangles_rasterized", stats.triangles_rasterized)
+        TELEMETRY.count("raster.fragments_generated", stats.fragments_generated)
+        TELEMETRY.count("raster.fragments_passed_depth", stats.fragments_passed_depth)
+        TELEMETRY.count("raster.tile_triangle_pairs", tiling.stats.tile_triangle_pairs)
+        TELEMETRY.count("raster.tiles_touched", tiling.stats.tiles_touched)
 
     return RenderedFrame(
         gbuffer=rasterizer.gbuffer,

@@ -18,6 +18,7 @@ re-evaluations, exactly mirroring the hardware's structure.
 
 from __future__ import annotations
 
+from dataclasses import asdict as dataclasses_asdict
 from dataclasses import dataclass, field
 from dataclasses import replace as dataclasses_replace
 
@@ -30,6 +31,7 @@ from ..core.scenarios import Scenario
 from ..errors import PipelineError
 from ..memsys.hierarchy import HierarchyStats, TextureMemoryHierarchy
 from ..memsys.traffic import BandwidthBreakdown, frame_breakdown
+from ..obs import TELEMETRY
 from ..power.components import EnergyParams
 from ..power.energy import EnergyBreakdown, EnergyModel, FrameEvents
 from ..quality.ssim import mssim as mssim_fn
@@ -125,6 +127,39 @@ class FrameResult:
     def total_energy_nj(self) -> float:
         return self.energy.total_nj
 
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-ready summary of this evaluation (no image payload).
+
+        This is the per-frame record the metrics JSONL sink consumes;
+        external tooling should prefer it over reaching into the
+        nested dataclasses.
+        """
+        return {
+            "workload": self.workload_name,
+            "frame": self.frame_index,
+            "scenario": self.scenario.name,
+            "threshold": self.threshold,
+            "mssim": self.mssim,
+            "approximation_rate": self.approximation_rate,
+            "quad_divergence": self.quad_divergence,
+            "frame_cycles": self.frame_cycles,
+            "fps": self.fps,
+            "request_latency": self.request_latency,
+            "total_energy_nj": self.total_energy_nj,
+            "frame_timing": dataclasses_asdict(self.frame_timing),
+            "texture_timing": dataclasses_asdict(self.texture_timing),
+            "hierarchy": self.hierarchy.to_dict(),
+            "bandwidth": {
+                **self.bandwidth.as_dict(),
+                "total": self.bandwidth.total_bytes,
+            },
+            "energy": {
+                **dataclasses_asdict(self.energy),
+                "total_nj": self.energy.total_nj,
+            },
+            "events": dataclasses_asdict(self.events),
+        }
+
 
 class RenderSession:
     """Renders workloads and evaluates PATU design points against them."""
@@ -189,12 +224,26 @@ class RenderSession:
 
     def capture_frame(self, workload: Workload, frame_index: int) -> FrameCapture:
         """Render one frame and capture all per-pixel filtering state."""
+        with TELEMETRY.span(
+            "session.capture_frame", workload=workload.name, frame=frame_index
+        ):
+            capture = self._capture_frame_impl(workload, frame_index)
+        TELEMETRY.progress(
+            f"captured {workload.name} frame {frame_index}: "
+            f"{capture.num_pixels} px, mean N {capture.mean_anisotropy:.2f}"
+        )
+        return capture
+
+    def _capture_frame_impl(
+        self, workload: Workload, frame_index: int
+    ) -> FrameCapture:
         width, height = workload.scaled_size(self.scale)
         camera = workload.camera(frame_index)
         tile_size = self.config.tile_size
-        rendered = render_gbuffer(
-            workload.scene, camera, width, height, tile_size=tile_size
-        )
+        with TELEMETRY.span("capture.gbuffer"):
+            rendered = render_gbuffer(
+                workload.scene, camera, width, height, tile_size=tile_size
+            )
         gb = rendered.gbuffer
         rows, cols = gb.visible_indices()
         if rows.size == 0:
@@ -223,6 +272,12 @@ class RenderSession:
         quad_group = _group_index(
             quad_ids(rows, cols, width).astype(np.int64), tex_of_pixel.astype(np.int64)
         )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("capture.visible_pixels", npx)
+            TELEMETRY.count(
+                "raster.quads_emitted",
+                int(quad_group.max()) + 1 if quad_group.size else 0,
+            )
         deriv = {}
         for field_name in ("dudx", "dvdx", "dudy", "dvdy"):
             values = getattr(gb, field_name)[rows, cols].astype(np.float64)
@@ -237,49 +292,51 @@ class RenderSession:
         tfa_lines = np.empty((npx, TEXELS_PER_TRILINEAR), dtype=np.int64)
 
         batches = []
-        for frame_tid in np.unique(tex_of_pixel):
-            mask = tex_of_pixel == frame_tid
-            chain_index = name_to_chain[rendered.texture_names[int(frame_tid)]]
-            batch = unit.filter_batch(
-                chain_index,
-                gb.u[rows, cols][mask].astype(np.float64),
-                gb.v[rows, cols][mask].astype(np.float64),
-                deriv["dudx"][mask],
-                deriv["dvdx"][mask],
-                deriv["dudy"][mask],
-                deriv["dvdy"][mask],
-            )
-            batches.append((np.nonzero(mask)[0], batch))
-            n[mask] = batch.n
-            lod_tf[mask] = batch.lod_tf
-            lod_af[mask] = batch.lod_af
-            af_color[mask] = batch.af_color
-            tf_color[mask] = batch.tf_color
-            tfa_color[mask] = batch.tf_af_lod_color
-            tf_lines[mask] = batch.tf_lines
-            tfa_lines[mask] = batch.tf_af_lod_lines
+        with TELEMETRY.span("capture.texture_filtering"):
+            for frame_tid in np.unique(tex_of_pixel):
+                mask = tex_of_pixel == frame_tid
+                chain_index = name_to_chain[rendered.texture_names[int(frame_tid)]]
+                batch = unit.filter_batch(
+                    chain_index,
+                    gb.u[rows, cols][mask].astype(np.float64),
+                    gb.v[rows, cols][mask].astype(np.float64),
+                    deriv["dudx"][mask],
+                    deriv["dvdx"][mask],
+                    deriv["dudy"][mask],
+                    deriv["dvdy"][mask],
+                )
+                batches.append((np.nonzero(mask)[0], batch))
+                n[mask] = batch.n
+                lod_tf[mask] = batch.lod_tf
+                lod_af[mask] = batch.lod_af
+                af_color[mask] = batch.af_color
+                tf_color[mask] = batch.tf_color
+                tfa_color[mask] = batch.tf_af_lod_color
+                tf_lines[mask] = batch.tf_lines
+                tfa_lines[mask] = batch.tf_af_lod_lines
 
-        # Frame-level CSR over AF samples, merged from per-texture batches.
-        row_ptr = np.zeros(npx + 1, dtype=np.int64)
-        np.cumsum(n, out=row_ptr[1:])
-        total_samples = int(row_ptr[-1])
-        sample_keys = np.empty(total_samples, dtype=np.int64)
-        af_lines = np.empty(total_samples * TEXELS_PER_TRILINEAR, dtype=np.int64)
-        for pixel_idx, batch in batches:
-            lens = n[pixel_idx]
-            starts = row_ptr[pixel_idx]
-            dst = _expand_ranges(starts, lens)
-            sample_keys[dst] = batch.sample_keys
-            dst8 = _expand_ranges(
-                starts * TEXELS_PER_TRILINEAR, lens * TEXELS_PER_TRILINEAR
-            )
-            af_lines[dst8] = batch.af_lines
+        with TELEMETRY.span("capture.csr_merge"):
+            # Frame-level CSR over AF samples, merged from per-texture batches.
+            row_ptr = np.zeros(npx + 1, dtype=np.int64)
+            np.cumsum(n, out=row_ptr[1:])
+            total_samples = int(row_ptr[-1])
+            sample_keys = np.empty(total_samples, dtype=np.int64)
+            af_lines = np.empty(total_samples * TEXELS_PER_TRILINEAR, dtype=np.int64)
+            for pixel_idx, batch in batches:
+                lens = n[pixel_idx]
+                starts = row_ptr[pixel_idx]
+                dst = _expand_ranges(starts, lens)
+                sample_keys[dst] = batch.sample_keys
+                dst8 = _expand_ranges(
+                    starts * TEXELS_PER_TRILINEAR, lens * TEXELS_PER_TRILINEAR
+                )
+                af_lines[dst8] = batch.af_lines
 
-        # The per-pixel Txds still carries sub-texel alignment noise from
-        # each pixel's own (u, v); the quad's pipelines process the quad
-        # as one SIMD unit, so smooth the statistic over the quad too.
-        txds = _group_mean(txds_from_csr(sample_keys, row_ptr), quad_group)
-        share = sharing_fraction_from_csr(sample_keys, row_ptr)
+            # The per-pixel Txds still carries sub-texel alignment noise from
+            # each pixel's own (u, v); the quad's pipelines process the quad
+            # as one SIMD unit, so smooth the statistic over the quad too.
+            txds = _group_mean(txds_from_csr(sample_keys, row_ptr), quad_group)
+            share = sharing_fraction_from_csr(sample_keys, row_ptr)
 
         workload_counts = FrameWorkload(
             vertices=rendered.vertices,
@@ -374,58 +431,81 @@ class RenderSession:
         threshold: float,
         store_image: bool,
     ) -> FrameResult:
-        colors = capture.af_color.copy()
-        tf_mask = decision.mode == FilterMode.TF_TF_LOD
-        tfa_mask = decision.mode == FilterMode.TF_AF_LOD
-        colors[tf_mask] = capture.tf_color[tf_mask]
-        colors[tfa_mask] = capture.tfa_color[tfa_mask]
-
-        if scenario.name == "baseline":
-            quality = 1.0
-            lum = capture.baseline_luminance
-        else:
-            lum = capture.luminance_image(colors)
-            quality = mssim_fn(capture.baseline_luminance, lum)
-
-        lines, lengths = self._fetch_stream(capture, decision)
-        hier = self._simulate_hierarchy(capture, lines, lengths)
-
-        events = self._frame_events(capture, decision, scenario, hier)
-        tex_timing, frame_timing, req_latency = self._frame_timing(
-            capture, decision, scenario, hier
-        )
-
-        bandwidth = frame_breakdown(
-            texture_dram_bytes=hier.dram_bytes,
-            visible_pixels=capture.num_pixels,
-            fragments_generated=capture.workload.fragments_generated,
-            fragments_passed=capture.num_pixels,
-            vertices=capture.workload.vertices,
-        )
-        energy = self._energy_model.frame_energy(events, frame_timing.total_cycles)
-
-        divergence = quad_divergence_fraction(
-            capture.rows, capture.cols, capture.width,
-            decision.prediction.approximated,
-        )
-        return FrameResult(
-            workload_name=capture.workload_name,
-            frame_index=capture.frame_index,
-            scenario=scenario,
+        with TELEMETRY.span(
+            "session.evaluate",
+            workload=capture.workload_name,
+            frame=capture.frame_index,
+            scenario=scenario.name,
             threshold=threshold,
-            mssim=quality,
-            approximation_rate=decision.approximation_rate,
-            quad_divergence=divergence,
-            frame_timing=frame_timing,
-            texture_timing=tex_timing,
-            request_latency=req_latency,
-            hierarchy=hier,
-            bandwidth=bandwidth,
-            energy=energy,
-            events=events,
-            fps=self._gpu_timing.fps(frame_timing),
-            luminance=lum if store_image else None,
+        ):
+            with TELEMETRY.span("evaluate.reconstruct"):
+                colors = capture.af_color.copy()
+                tf_mask = decision.mode == FilterMode.TF_TF_LOD
+                tfa_mask = decision.mode == FilterMode.TF_AF_LOD
+                colors[tf_mask] = capture.tf_color[tf_mask]
+                colors[tfa_mask] = capture.tfa_color[tfa_mask]
+
+            with TELEMETRY.span("evaluate.mssim"):
+                if scenario.name == "baseline":
+                    quality = 1.0
+                    lum = capture.baseline_luminance
+                else:
+                    lum = capture.luminance_image(colors)
+                    quality = mssim_fn(capture.baseline_luminance, lum)
+
+            with TELEMETRY.span("evaluate.fetch_stream"):
+                lines, lengths = self._fetch_stream(capture, decision)
+            hier = self._simulate_hierarchy(capture, lines, lengths)
+
+            events = self._frame_events(capture, decision, scenario, hier)
+            tex_timing, frame_timing, req_latency = self._frame_timing(
+                capture, decision, scenario, hier
+            )
+
+            bandwidth = frame_breakdown(
+                texture_dram_bytes=hier.dram_bytes,
+                visible_pixels=capture.num_pixels,
+                fragments_generated=capture.workload.fragments_generated,
+                fragments_passed=capture.num_pixels,
+                vertices=capture.workload.vertices,
+            )
+            with TELEMETRY.span("evaluate.energy"):
+                energy = self._energy_model.frame_energy(
+                    events, frame_timing.total_cycles
+                )
+
+            divergence = quad_divergence_fraction(
+                capture.rows, capture.cols, capture.width,
+                decision.prediction.approximated,
+            )
+            result = FrameResult(
+                workload_name=capture.workload_name,
+                frame_index=capture.frame_index,
+                scenario=scenario,
+                threshold=threshold,
+                mssim=quality,
+                approximation_rate=decision.approximation_rate,
+                quad_divergence=divergence,
+                frame_timing=frame_timing,
+                texture_timing=tex_timing,
+                request_latency=req_latency,
+                hierarchy=hier,
+                bandwidth=bandwidth,
+                energy=energy,
+                events=events,
+                fps=self._gpu_timing.fps(frame_timing),
+                luminance=lum if store_image else None,
+            )
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("session.mssim", result.mssim)
+            TELEMETRY.observe("session.frame_cycles", result.frame_cycles)
+            TELEMETRY.frame_record(result.to_dict(), patu=decision.to_dict())
+        TELEMETRY.progress(
+            f"evaluated {capture.workload_name} frame {capture.frame_index} "
+            f"[{scenario.name} @ {threshold:g}]: MSSIM {result.mssim:.3f}, "
+            f"approx {result.approximation_rate:.1%}"
         )
+        return result
 
     # ------------------------------------------------------------------
     # Internals
@@ -472,21 +552,22 @@ class RenderSession:
         self, capture: FrameCapture, lines: np.ndarray, lengths: np.ndarray
     ) -> HierarchyStats:
         """Split the stream into per-tile segments and run the caches."""
-        boundaries = np.nonzero(np.diff(capture.tile_ids))[0] + 1
-        starts = np.concatenate([[0], boundaries])
-        tile_of_segment = capture.tile_ids[starts]
-        line_counts = np.add.reduceat(lengths, starts)
-        line_offsets = np.concatenate([[0], np.cumsum(line_counts)])
-        num_units = self.config.num_texture_units
-        tile_streams = [
-            (
-                int(tile_of_segment[i]) % num_units,
-                lines[line_offsets[i] : line_offsets[i + 1]],
-            )
-            for i in range(starts.size)
-        ]
-        hierarchy = TextureMemoryHierarchy(self.config)
-        return hierarchy.process_frame(tile_streams)
+        with TELEMETRY.span("session.simulate_hierarchy", lines=int(lines.size)):
+            boundaries = np.nonzero(np.diff(capture.tile_ids))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            tile_of_segment = capture.tile_ids[starts]
+            line_counts = np.add.reduceat(lengths, starts)
+            line_offsets = np.concatenate([[0], np.cumsum(line_counts)])
+            num_units = self.config.num_texture_units
+            tile_streams = [
+                (
+                    int(tile_of_segment[i]) % num_units,
+                    lines[line_offsets[i] : line_offsets[i + 1]],
+                )
+                for i in range(starts.size)
+            ]
+            hierarchy = TextureMemoryHierarchy(self.config)
+            return hierarchy.process_frame(tile_streams)
 
     def _frame_events(
         self,
@@ -517,27 +598,30 @@ class RenderSession:
         scenario: Scenario,
         hier: HierarchyStats,
     ) -> "tuple[TextureTiming, FrameTiming, float]":
-        hierarchy = TextureMemoryHierarchy(self.config)
-        dram_latency = hierarchy.dram_average_latency(hier)
-        dram_cycles = hierarchy.dram_transfer_cycles(hier)
-        checks = capture.num_pixels if scenario.use_stage1 else 0
-        tex_timing = self._texpipe.frame_timing(
-            trilinear_samples=decision.total_trilinear,
-            address_samples=decision.total_address_work,
-            checked_pixels=checks,
-            hier=hier,
-            dram_transfer_cycles=dram_cycles,
-            dram_latency=dram_latency,
-        )
-        frame_timing = self._gpu_timing.frame_timing(capture.workload, tex_timing)
-        req_latency = self._texpipe.request_latency(
-            tex_timing,
-            num_requests=capture.num_pixels,
-            trilinear_samples=decision.total_trilinear,
-            hier=hier,
-            dram_latency=dram_latency,
-        )
-        return tex_timing, frame_timing, req_latency
+        with TELEMETRY.span("session.frame_timing"):
+            hierarchy = TextureMemoryHierarchy(self.config)
+            dram_latency = hierarchy.dram_average_latency(hier)
+            dram_cycles = hierarchy.dram_transfer_cycles(hier)
+            checks = capture.num_pixels if scenario.use_stage1 else 0
+            tex_timing = self._texpipe.frame_timing(
+                trilinear_samples=decision.total_trilinear,
+                address_samples=decision.total_address_work,
+                checked_pixels=checks,
+                hier=hier,
+                dram_transfer_cycles=dram_cycles,
+                dram_latency=dram_latency,
+            )
+            frame_timing = self._gpu_timing.frame_timing(
+                capture.workload, tex_timing
+            )
+            req_latency = self._texpipe.request_latency(
+                tex_timing,
+                num_requests=capture.num_pixels,
+                trilinear_samples=decision.total_trilinear,
+                hier=hier,
+                dram_latency=dram_latency,
+            )
+            return tex_timing, frame_timing, req_latency
 
 
 def _group_index(primary: np.ndarray, secondary: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import TextureError
+from ..obs import TELEMETRY
 from .addressing import TextureLayout
 from .anisotropic import anisotropic_filter
 from .footprint import FootprintInfo, compute_footprints
@@ -87,19 +88,21 @@ class TextureUnit:
         if count == 0:
             raise TextureError("cannot filter an empty fragment batch")
 
-        fp = compute_footprints(
-            dudx, dvdx, dudy, dvdy,
-            chain.texture.width, chain.texture.height,
-            max_aniso=self.max_aniso, max_level=chain.max_level,
-        )
+        with TELEMETRY.span("texture.footprints", fragments=count):
+            fp = compute_footprints(
+                dudx, dvdx, dudy, dvdy,
+                chain.texture.width, chain.texture.height,
+                max_aniso=self.max_aniso, max_level=chain.max_level,
+            )
 
         # Trilinear-only variants (one sample per fragment).
-        tf_info = trilinear_info(chain, u, v, fp.lod_tf)
-        tf_color = trilinear_sample(chain, u, v, fp.lod_tf, info=tf_info)
-        tfa_info = trilinear_info(chain, u, v, fp.lod_af)
-        tf_af_lod_color = trilinear_sample(chain, u, v, fp.lod_af, info=tfa_info)
-        tf_lines = self._lines_from_info(tex_index, tf_info)
-        tf_af_lod_lines = self._lines_from_info(tex_index, tfa_info)
+        with TELEMETRY.span("texture.trilinear_variants"):
+            tf_info = trilinear_info(chain, u, v, fp.lod_tf)
+            tf_color = trilinear_sample(chain, u, v, fp.lod_tf, info=tf_info)
+            tfa_info = trilinear_info(chain, u, v, fp.lod_af)
+            tf_af_lod_color = trilinear_sample(chain, u, v, fp.lod_af, info=tfa_info)
+            tf_lines = self._lines_from_info(tex_index, tf_info)
+            tf_af_lod_lines = self._lines_from_info(tex_index, tfa_info)
 
         # Anisotropic variant, grouped by N for dense kernels.
         row_ptr = np.zeros(count + 1, dtype=np.int64)
@@ -109,23 +112,36 @@ class TextureUnit:
         sample_keys = np.empty(total, dtype=np.int64)
         af_lines = np.empty(total * TEXELS_PER_TRILINEAR, dtype=np.int64)
 
-        for n_value in np.unique(fp.n):
-            n_value = int(n_value)
-            mask = fp.n == n_value
-            result = anisotropic_filter(chain, u, v, fp, mask, n_value)
-            af_color[mask] = result.color
-            rows = np.nonzero(mask)[0]
-            # Sample slots for these fragments in the CSR value arrays.
-            slots = row_ptr[rows][:, None] + np.arange(n_value)[None, :]
-            sample_keys[slots.ravel()] = result.sample_keys.ravel()
-            levels, iy, ix = result.texel_coords()
-            addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
-            lines = TextureLayout.line_addresses(addrs)
-            line_slots = (
-                slots.reshape(-1)[:, None] * TEXELS_PER_TRILINEAR
-                + np.arange(TEXELS_PER_TRILINEAR)[None, :]
+        with TELEMETRY.span("texture.anisotropic", samples=total):
+            for n_value in np.unique(fp.n):
+                n_value = int(n_value)
+                mask = fp.n == n_value
+                result = anisotropic_filter(chain, u, v, fp, mask, n_value)
+                af_color[mask] = result.color
+                rows = np.nonzero(mask)[0]
+                # Sample slots for these fragments in the CSR value arrays.
+                slots = row_ptr[rows][:, None] + np.arange(n_value)[None, :]
+                sample_keys[slots.ravel()] = result.sample_keys.ravel()
+                levels, iy, ix = result.texel_coords()
+                addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
+                lines = TextureLayout.line_addresses(addrs)
+                line_slots = (
+                    slots.reshape(-1)[:, None] * TEXELS_PER_TRILINEAR
+                    + np.arange(TEXELS_PER_TRILINEAR)[None, :]
+                )
+                af_lines[line_slots.ravel()] = lines.reshape(-1)
+
+        if TELEMETRY.enabled:
+            TELEMETRY.count("texture.fragments", count)
+            TELEMETRY.count("texture.af_samples", total)
+            # AF's N samples plus the two captured TF variants, each one
+            # trilinear sample per fragment.
+            TELEMETRY.count("texture.trilinear_samples", total + 2 * count)
+            TELEMETRY.count(
+                "texture.address_lines",
+                af_lines.size + tf_lines.size + tf_af_lod_lines.size,
             )
-            af_lines[line_slots.ravel()] = lines.reshape(-1)
+            TELEMETRY.observe("texture.batch_mean_aniso", float(fp.n.mean()))
 
         return FilteredBatch(
             tex_index=tex_index,

@@ -1,0 +1,24 @@
+"""Fixtures for the observability suite.
+
+The global :data:`repro.obs.TELEMETRY` registry is process-wide state;
+every test in this package gets it reset and disabled on both sides so
+no spans, counters or sinks leak between tests (or into the rest of
+the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def clean_global_telemetry():
+    TELEMETRY.enabled = False
+    TELEMETRY.progress_sink = None
+    TELEMETRY.reset()
+    yield TELEMETRY
+    TELEMETRY.enabled = False
+    TELEMETRY.progress_sink = None
+    TELEMETRY.reset()

@@ -1,0 +1,90 @@
+"""The disabled-telemetry overhead guard.
+
+The tentpole's contract is "near-zero overhead when disabled": every
+instrumentation site costs one attribute load and one branch (or a
+shared no-op context manager). This benchmark-style regression test
+renders one small frame with the global registry disabled and compares
+against the same render with every module's ``TELEMETRY`` binding
+replaced by a hard stub (the "obs imports stubbed out" build). The
+disabled path must stay within 5% — plus a small absolute slack so CI
+timer jitter on a ~100 ms workload cannot flake the suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.scenarios import SCENARIOS
+from repro.obs import NOOP_SPAN, TELEMETRY
+
+#: Every module that binds the global registry at import time.
+_INSTRUMENTED_MODULES = (
+    "repro.renderer.session",
+    "repro.renderer.pipeline",
+    "repro.texture.unit",
+    "repro.core.patu",
+    "repro.core.predictor",
+    "repro.memsys.hierarchy",
+    "repro.experiments.runner",
+)
+
+
+class _StubTelemetry:
+    """What the code would see if the obs subsystem did not exist."""
+
+    enabled = False
+    progress_sink = None
+
+    def span(self, _name, **_args):
+        return NOOP_SPAN
+
+    def count(self, _name, _amount=1):
+        return None
+
+    def gauge(self, _name, _value):
+        return None
+
+    def observe(self, _name, _value):
+        return None
+
+    def progress(self, _message):
+        return None
+
+    def frame_record(self, _fields=None, **_extra):
+        return None
+
+
+def _render_once(session, workload) -> float:
+    start = time.perf_counter()
+    capture = session.capture_frame(workload, 0)
+    session.evaluate(capture, SCENARIOS["patu"], 0.4)
+    return time.perf_counter() - start
+
+
+def test_disabled_overhead_within_five_percent(
+    session, mini_workload, monkeypatch
+):
+    assert not TELEMETRY.enabled
+
+    import importlib
+
+    rounds = 4
+    disabled = []
+    stubbed = []
+    stub = _StubTelemetry()
+    # Interleave the two builds so clock drift / cache warmup hits both
+    # equally; min-of-N discards scheduler noise.
+    for _ in range(rounds):
+        with monkeypatch.context() as patch:
+            for module_name in _INSTRUMENTED_MODULES:
+                module = importlib.import_module(module_name)
+                patch.setattr(module, "TELEMETRY", stub)
+            stubbed.append(_render_once(session, mini_workload))
+        disabled.append(_render_once(session, mini_workload))
+
+    best_disabled = min(disabled)
+    best_stubbed = min(stubbed)
+    assert best_disabled <= best_stubbed * 1.05 + 0.005, (
+        f"disabled telemetry cost {best_disabled * 1000:.1f} ms vs "
+        f"{best_stubbed * 1000:.1f} ms stubbed — overhead above 5%"
+    )
