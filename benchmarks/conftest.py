@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     format_table,
 )
+from repro.ioutil import atomic_write_text
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
 
@@ -39,7 +40,7 @@ def record_result(results_dir):
 
     def _record(result: ExperimentResult) -> ExperimentResult:
         text = format_table(result)
-        (results_dir / f"{result.experiment}.txt").write_text(text)
+        atomic_write_text(results_dir / f"{result.experiment}.txt", text)
         print()
         print(text)
         return result

@@ -18,6 +18,13 @@ Subcommands:
 ``--metrics`` to capture the same artifacts for any run, and
 ``--verbose`` for per-stage progress on stderr. Result tables go to
 stdout; informational messages go to stderr, so stdout stays pipeable.
+
+Resilience (see ``docs/resilience.md``): ``experiment``/``report``
+accept ``--checkpoint PATH`` to persist evaluated design points and
+``--resume`` to continue an interrupted sweep (SIGINT flushes the
+checkpoint before exiting with status 130); ``--inject-faults`` (with
+``--fault-rate``/``--fault-seed``) exercises the graceful-degradation
+paths with deterministic corruption.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ from .core.scenarios import SCENARIOS, get_scenario
 from .errors import ReproError, WorkloadError
 from .experiments import REGISTRY, ExperimentContext
 from .experiments.runner import DEFAULT_WORKLOADS, format_table, run_experiment
+from .ioutil import atomic_write_text
 from .obs import TELEMETRY, write_chrome_trace, write_metrics_jsonl
+from .resilience import FAULTS, FaultPlan
 from .quality.imageio import write_pgm, write_ppm
 from .quality.ssim import ssim_map
 from .renderer.session import RenderSession
@@ -57,6 +66,72 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                         help="write per-frame metrics JSONL here")
     parser.add_argument("--verbose", action="store_true",
                         help="per-stage progress lines on stderr")
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--inject-faults", action="store_true",
+                        dest="inject_faults",
+                        help="enable deterministic fault injection "
+                             "(texel/hash/count-tag/fetch corruption)")
+    parser.add_argument("--fault-rate", type=float, default=0.01,
+                        dest="fault_rate", metavar="RATE",
+                        help="per-site fault probability (default 0.01)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        dest="fault_seed", metavar="SEED",
+                        help="seed for the fault injector (default 0)")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="persist evaluated design points here "
+                             "(atomic, versioned JSON)")
+    parser.add_argument("--resume", action="store_true",
+                        help="load the checkpoint before running; "
+                             "already-evaluated points are skipped")
+
+
+DEFAULT_CHECKPOINT = "repro-checkpoint.json"
+
+
+def _checkpoint_path(args) -> "str | None":
+    """Resolve the checkpoint path: --resume implies the default path."""
+    path = getattr(args, "checkpoint", None)
+    if path is None and getattr(args, "resume", False):
+        path = DEFAULT_CHECKPOINT
+    return path
+
+
+def _faults_begin(args) -> None:
+    """Arm the fault injector from the parsed flags."""
+    if getattr(args, "inject_faults", False):
+        # Degradation counters live in telemetry; a faulted run without
+        # --trace/--metrics still wants them, so arm telemetry too.
+        if not TELEMETRY.enabled:
+            TELEMETRY.reset()
+            TELEMETRY.enabled = True
+        FAULTS.configure(
+            FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+        )
+        _info(f"fault injection on: rate {args.fault_rate:g}, "
+              f"seed {args.fault_seed}")
+
+
+def _faults_end(args) -> None:
+    """Report what the injector did, then disarm it."""
+    if getattr(args, "inject_faults", False) and FAULTS.enabled:
+        degraded = TELEMETRY.counter_value("resilience.degraded_pixels")
+        fallback = TELEMETRY.counter_value("resilience.fallback_af_pixels")
+        _info(f"fault injection: {FAULTS.total_injected} fault(s) injected, "
+              f"{degraded:g} pixel prediction(s) degraded, "
+              f"{fallback:g} pixel(s) fell back to exact AF")
+    FAULTS.disable()
+
+
+def _resume_begin(args, ctx: ExperimentContext) -> None:
+    """Seed the context's metrics cache from the checkpoint, if asked."""
+    if getattr(args, "resume", False):
+        loaded = ctx.load_checkpoint()
+        _info(f"resumed {loaded} design point(s) from {ctx.checkpoint_path}")
 
 
 def _metrics_path(args) -> "str | None":
@@ -143,10 +218,24 @@ def _cmd_experiment(args) -> int:
         return 2
     workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
     ctx = ExperimentContext(
-        scale=args.scale, frames=args.frames, workloads=workloads
+        scale=args.scale, frames=args.frames, workloads=workloads,
+        checkpoint_path=_checkpoint_path(args),
     )
-    result = run_experiment(args.id, REGISTRY[args.id], ctx)
+    _resume_begin(args, ctx)
+    try:
+        result = run_experiment(args.id, REGISTRY[args.id], ctx)
+    except KeyboardInterrupt:
+        saved = ctx.save_checkpoint()
+        if saved is not None:
+            _info(f"interrupted; checkpoint flushed to {saved} "
+                  "(rerun with --resume to continue)")
+        else:
+            _info("interrupted (no --checkpoint path; nothing persisted)")
+        return 130
     print(format_table(result))
+    if result.failures:
+        _info(f"{len(result.failures)} isolated failure(s); "
+              "see table footer for details")
     if args.plot:
         chart = _plot_result(result)
         if chart:
@@ -155,7 +244,7 @@ def _cmd_experiment(args) -> int:
             print("(no plottable structure in this experiment)")
     if args.out:
         path = pathlib.Path(args.out)
-        path.write_text(format_table(result))
+        atomic_write_text(path, format_table(result))
         _info(f"wrote {path}")
     return 0
 
@@ -231,13 +320,22 @@ def _cmd_report(args) -> int:
 
     workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
     ctx = ExperimentContext(
-        scale=args.scale, frames=args.frames, workloads=workloads
+        scale=args.scale, frames=args.frames, workloads=workloads,
+        checkpoint_path=_checkpoint_path(args),
     )
+    _resume_begin(args, ctx)
     ids = tuple(args.experiments) if args.experiments else None
-    results = run_all(ctx, experiment_ids=ids)
+    try:
+        results = run_all(ctx, experiment_ids=ids)
+    except KeyboardInterrupt:
+        saved = ctx.save_checkpoint()
+        if saved is not None:
+            _info(f"interrupted; checkpoint flushed to {saved} "
+                  "(rerun with --resume to continue)")
+        return 130
     text = build_report(results)
     out = pathlib.Path(args.out)
-    out.write_text(text)
+    atomic_write_text(out, text)
     print(text.split("## Experiment tables")[0])
     _info(f"full report written to {out}")
     return 0
@@ -301,6 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(alias of --metrics)")
     _add_session_args(p_exp)
     _add_obs_args(p_exp)
+    _add_checkpoint_args(p_exp)
+    _add_fault_args(p_exp)
 
     p_render = sub.add_parser("render", help="render a frame to image files")
     p_render.add_argument("workload")
@@ -327,6 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default="report.md")
     _add_session_args(p_rep)
     _add_obs_args(p_rep)
+    _add_checkpoint_args(p_rep)
+    _add_fault_args(p_rep)
 
     p_prof = sub.add_parser(
         "profile", help="render frames with telemetry, export trace + metrics"
@@ -343,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-frame metrics output (default metrics.jsonl)")
     p_prof.add_argument("--verbose", action="store_true",
                         help="per-stage progress lines on stderr")
+    _add_fault_args(p_prof)
 
     return parser
 
@@ -358,6 +461,7 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
     }
     _obs_begin(args)
+    _faults_begin(args)
     rc = 0
     try:
         rc = handlers[args.command](args)
@@ -365,6 +469,7 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         rc = 1
     finally:
+        _faults_end(args)
         if not _obs_end(args):
             rc = rc or 1
     return rc

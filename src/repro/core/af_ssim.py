@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import DegenerateInputError, ReproError
 
 #: Stabilizing constant of Eq. (5); same role as C1 in classic SSIM.
 C1 = 1e-4
@@ -41,11 +41,20 @@ def af_ssim_n(n: np.ndarray) -> np.ndarray:
 
     ``N = 1`` (isotropic footprint) predicts 1.0 — AF degenerates to
     trilinear; ``N = 16`` predicts ~0.0155 — AF is essential.
+
+    Degenerate inputs (NaN, infinity, ``N < 1``) raise
+    :class:`~repro.errors.DegenerateInputError` — the result is always
+    finite and in ``[0, 1]``, never NaN. The predictor sanitizes
+    corrupted hardware state *before* calling in (see
+    :mod:`repro.resilience.guards`).
     """
     n = np.asarray(n, dtype=np.float64)
+    if not np.all(np.isfinite(n)):
+        raise DegenerateInputError("anisotropy degree N must be finite")
     if np.any(n < 1):
-        raise ReproError("anisotropy degree N must be >= 1")
-    return (2.0 * n / (n * n + 1.0)) ** 2
+        raise DegenerateInputError("anisotropy degree N must be >= 1")
+    # 2N/(N^2+1) rewritten as 2/(N + 1/N): overflow-free for huge N.
+    return (2.0 / (n + 1.0 / n)) ** 2
 
 
 def entropy(p: np.ndarray) -> float:
@@ -78,10 +87,17 @@ def txds(p: np.ndarray, n: int) -> float:
 
 
 def af_ssim_txds(txds_value: np.ndarray) -> np.ndarray:
-    """Eq. (10): distribution based prediction from Txds in [0, 1]."""
+    """Eq. (10): distribution based prediction from Txds in [0, 1].
+
+    Degenerate inputs (NaN, infinity, out-of-range) raise
+    :class:`~repro.errors.DegenerateInputError`; the result is always
+    finite and in ``[0, 1]``.
+    """
     t = np.asarray(txds_value, dtype=np.float64)
+    if not np.all(np.isfinite(t)):
+        raise DegenerateInputError("Txds must be finite")
     if np.any(t < -1e-9) or np.any(t > 1.0 + 1e-9):
-        raise ReproError("Txds must lie in [0, 1]")
+        raise DegenerateInputError("Txds must lie in [0, 1]")
     return (2.0 * t / (t * t + 1.0)) ** 2
 
 

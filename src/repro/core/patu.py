@@ -27,6 +27,8 @@ import numpy as np
 
 from ..errors import ReproError
 from ..obs import TELEMETRY
+from ..resilience.faults import FAULTS
+from ..resilience.guards import safe_anisotropy
 from .predictor import PredictionResult, TwoStagePredictor
 from .scenarios import Scenario
 
@@ -73,6 +75,7 @@ class PatuDecision:
             "stage2_approved": int(self.prediction.stage2.sum()),
             "approximated": int(self.prediction.approximated.sum()),
             "approximation_rate": self.approximation_rate,
+            "degraded_pixels": self.prediction.degraded_count,
             "total_trilinear": self.total_trilinear,
             "total_address_work": self.total_address_work,
             "total_hash_insertions": self.total_hash_insertions,
@@ -118,18 +121,30 @@ class PerceptionAwareTextureUnit:
                 hash-table contents.
         """
         n = np.asarray(n, dtype=np.int64)
+        if FAULTS.enabled:
+            # Bit-flipped count tags: the controller sees corrupted N.
+            n = FAULTS.corrupt_n(n, "patu.count_tags")
         with TELEMETRY.span("patu.decide", pixels=int(n.size)):
             pred = self._predictor.predict(n, txds)
+            # Degraded pixels (corrupted N or Txds) fall back to exact
+            # AF with a sanitized sample count — never garbage output.
+            degraded = (
+                pred.degraded
+                if pred.degraded is not None
+                else np.zeros(n.shape, dtype=bool)
+            )
+            n_safe, _ = safe_anisotropy(n)
             if self.hash_entries < 16 and self.scenario.use_stage2:
                 # Pixels overflowing the shrunken table lose their stage-2
                 # prediction; keep stage-1 results, drop stage-2 ones.
-                fits = n <= self.hash_entries
+                fits = n_safe <= self.hash_entries
                 pred = PredictionResult(
                     stage1=pred.stage1,
                     stage2=pred.stage2 & fits,
                     approximated=pred.stage1 | (pred.stage2 & fits),
                     predicted_n=pred.predicted_n,
                     predicted_txds=pred.predicted_txds,
+                    degraded=pred.degraded,
                 )
 
             mode = np.full(n.shape, FilterMode.AF, dtype=np.uint8)
@@ -137,22 +152,35 @@ class PerceptionAwareTextureUnit:
             mode[pred.approximated] = tf_mode
             # Pixels that never needed AF run plain trilinear at their own LOD
             # (lod_af == lod_tf when N == 1, so the distinction is moot there).
-            mode[(n <= 1) & (mode == FilterMode.AF)] = FilterMode.TF_TF_LOD
+            mode[(n_safe <= 1) & (mode == FilterMode.AF) & ~degraded] = (
+                FilterMode.TF_TF_LOD
+            )
+            if degraded.any():
+                with TELEMETRY.span(
+                    "resilience.fallback_af", pixels=int(degraded.sum())
+                ):
+                    mode[degraded] = FilterMode.AF
+                    TELEMETRY.count(
+                        "resilience.fallback_af_pixels", int(degraded.sum())
+                    )
 
-            trilinear = np.where(mode == FilterMode.AF, n, 1)
+            trilinear = np.where(mode == FilterMode.AF, n_safe, 1)
 
             # Address work: stage-1 approximated pixels compute only the one TF
             # sample; pixels that reached stage 2 computed all N AF samples, and
             # if approximated there, one more recalculated TF sample.
-            address = np.where(pred.stage1, 1, n)
+            address = np.where(pred.stage1, 1, n_safe)
             address = address + pred.stage2.astype(np.int64)
 
             # Hash-table insertions: only pixels that entered stage 2's check
-            # (stage 2 enabled, survived stage 1, genuinely anisotropic).
+            # (stage 2 enabled, survived stage 1, genuinely anisotropic);
+            # degraded pixels bypass the (corrupted) table entirely.
             if self.scenario.use_stage2:
-                entered = ~pred.stage1 & (n > 1)
+                entered = ~pred.stage1 & (n_safe > 1) & ~degraded
                 # A shrunken table stops accepting keys once full.
-                insertions = np.where(entered, np.minimum(n, self.hash_entries), 0)
+                insertions = np.where(
+                    entered, np.minimum(n_safe, self.hash_entries), 0
+                )
             else:
                 insertions = np.zeros(n.shape, dtype=np.int64)
 

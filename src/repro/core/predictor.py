@@ -17,6 +17,8 @@ import numpy as np
 
 from ..errors import ReproError
 from ..obs import TELEMETRY
+from ..resilience.faults import FAULTS
+from ..resilience.guards import safe_anisotropy, safe_txds
 from .af_ssim import af_ssim_n, af_ssim_txds
 from .scenarios import Scenario
 
@@ -33,6 +35,9 @@ class PredictionResult:
         predicted_n: the ``AF_SSIM(N)`` values (all pixels).
         predicted_txds: the ``AF_SSIM(Txds)`` values (all pixels;
             meaningful where stage 1 did not fire).
+        degraded: pixels whose predictor state (``N`` or ``Txds``) was
+            invalid — these are never approximated (they fall back to
+            exact AF, the graceful-degradation policy).
     """
 
     stage1: np.ndarray
@@ -40,12 +45,19 @@ class PredictionResult:
     approximated: np.ndarray
     predicted_n: np.ndarray
     predicted_txds: np.ndarray
+    degraded: "np.ndarray | None" = None
 
     @property
     def approximation_rate(self) -> float:
         if self.approximated.size == 0:
             return 0.0
         return float(self.approximated.mean())
+
+    @property
+    def degraded_count(self) -> int:
+        if self.degraded is None:
+            return 0
+        return int(self.degraded.sum())
 
 
 class TwoStagePredictor:
@@ -84,25 +96,43 @@ class TwoStagePredictor:
         Args:
             n: int anisotropy degrees (>= 1).
             txds: texel distribution similarity in [0, 1].
+
+        Corrupted predictor state (non-finite or out-of-domain ``N`` /
+        ``Txds``, e.g. from a faulted hash table or a bit-flipped count
+        tag) never raises and never produces NaN: the affected pixels
+        are sanitized, marked ``degraded`` and excluded from both
+        approximation stages, so they fall back to exact AF.
         """
         n = np.asarray(n)
+        if FAULTS.enabled:
+            txds = FAULTS.corrupt_txds(
+                np.asarray(txds, dtype=np.float64), "predictor.hash_table"
+            )
         txds = np.asarray(txds, dtype=np.float64)
         if n.shape != txds.shape:
             raise ReproError(f"N and Txds shapes differ: {n.shape} vs {txds.shape}")
-        pred_n = af_ssim_n(n)
-        pred_t = af_ssim_txds(txds)
+        n_safe, bad_n = safe_anisotropy(n)
+        txds_safe, bad_txds = safe_txds(txds)
+        degraded = bad_n | bad_txds
+        pred_n = af_ssim_n(n_safe)
+        pred_t = af_ssim_txds(txds_safe)
 
-        no_af_needed = n <= 1  # TF-only pixels bypass both checks (V-B)
+        no_af_needed = (n_safe <= 1) & ~degraded  # TF-only pixels (V-B)
         if self.scenario.use_stage1:
-            stage1 = (pred_n > self.threshold) & ~no_af_needed
+            stage1 = (pred_n > self.threshold) & ~no_af_needed & ~degraded
         else:
-            stage1 = np.zeros(n.shape, dtype=bool)
+            stage1 = np.zeros(n_safe.shape, dtype=bool)
         if self.scenario.use_stage2:
-            stage2 = (pred_t > self.stage2_threshold) & ~stage1 & ~no_af_needed
+            stage2 = (
+                (pred_t > self.stage2_threshold)
+                & ~stage1 & ~no_af_needed & ~degraded
+            )
         else:
-            stage2 = np.zeros(n.shape, dtype=bool)
+            stage2 = np.zeros(n_safe.shape, dtype=bool)
+        if degraded.any():
+            TELEMETRY.count("resilience.degraded_pixels", int(degraded.sum()))
         if TELEMETRY.enabled:
-            TELEMETRY.count("predictor.pixels", n.size)
+            TELEMETRY.count("predictor.pixels", n_safe.size)
             if self.scenario.use_stage1:
                 TELEMETRY.count(
                     "predictor.stage1_checked", int((~no_af_needed).sum())
@@ -118,4 +148,5 @@ class TwoStagePredictor:
             approximated=stage1 | stage2,
             predicted_n=pred_n,
             predicted_txds=pred_t,
+            degraded=degraded,
         )

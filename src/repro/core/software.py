@@ -79,6 +79,7 @@ def software_decision(
         approximated=approximated,
         predicted_n=pred_n,
         predicted_txds=np.zeros(n.shape, dtype=np.float64),
+        degraded=np.zeros(n.shape, dtype=bool),
     )
     return PatuDecision(
         prediction=prediction,

@@ -34,3 +34,29 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured or executed incorrectly."""
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-handling and degradation failures.
+
+    Raised when the resilience layer itself cannot proceed (as opposed
+    to :class:`DegradedResult` outcomes, which report that a component
+    *recovered* from corrupted state by falling back to a safe path).
+    """
+
+
+class DegenerateInputError(ResilienceError):
+    """A predictor/AF-SSIM input left its mathematical domain.
+
+    NaN, infinity, ``N < 1`` anisotropy degrees and out-of-range Txds
+    values raise this instead of silently propagating NaN through the
+    quality model.
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unreadable, corrupt, or incompatible."""
+
+
+class FaultInjectionError(ResilienceError):
+    """The fault-injection harness was configured incorrectly."""

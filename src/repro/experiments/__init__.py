@@ -43,7 +43,12 @@ from . import (
     table1_config,
     table2_benchmarks,
 )
-from .runner import ExperimentContext, ExperimentResult, get_default_context
+from .runner import (
+    ExperimentContext,
+    ExperimentResult,
+    get_default_context,
+    reset_default_context,
+)
 
 #: Experiment id -> module with ``run(ctx) -> ExperimentResult``.
 REGISTRY = {
@@ -78,4 +83,5 @@ __all__ = [
     "ExperimentResult",
     "REGISTRY",
     "get_default_context",
+    "reset_default_context",
 ]

@@ -25,25 +25,31 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
     rows = []
     for name in ctx.workload_list:
-        oblique_ratios = []
-        frame_ratios = []
-        for frame in range(ctx.frames):
-            cap = ctx.capture(name, frame)
-            af_image = cap.baseline_luminance
-            tf_image = cap.luminance_image(cap.tf_color)
-            oblique = np.zeros((cap.height, cap.width), dtype=bool)
-            oblique[cap.rows, cap.cols] = cap.n > OBLIQUE_N
-            if oblique.sum() > 16:
-                oblique_ratios.append(
-                    sharpness_ratio(af_image, tf_image, oblique)
-                )
-            frame_ratios.append(sharpness_ratio(af_image, tf_image))
-        rows.append(
-            {
-                "workload": name,
-                "sharpness_gain_oblique": float(np.mean(oblique_ratios)),
-                "sharpness_gain_frame": float(np.mean(frame_ratios)),
-            }
+        with ctx.isolate(name):
+            oblique_ratios = []
+            frame_ratios = []
+            for frame in range(ctx.frames):
+                cap = ctx.capture(name, frame)
+                af_image = cap.baseline_luminance
+                tf_image = cap.luminance_image(cap.tf_color)
+                oblique = np.zeros((cap.height, cap.width), dtype=bool)
+                oblique[cap.rows, cap.cols] = cap.n > OBLIQUE_N
+                if oblique.sum() > 16:
+                    oblique_ratios.append(
+                        sharpness_ratio(af_image, tf_image, oblique)
+                    )
+                frame_ratios.append(sharpness_ratio(af_image, tf_image))
+            rows.append(
+                {
+                    "workload": name,
+                    "sharpness_gain_oblique": float(np.mean(oblique_ratios)),
+                    "sharpness_gain_frame": float(np.mean(frame_ratios)),
+                }
+            )
+    if not rows:
+        return ExperimentResult(
+            experiment="fig3", title=TITLE, rows=[],
+            notes="(all workloads failed)",
         )
     mean_oblique = float(np.mean([r["sharpness_gain_oblique"] for r in rows]))
     mean_frame = float(np.mean([r["sharpness_gain_frame"] for r in rows]))

@@ -23,14 +23,20 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
     rows = []
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        off = ctx.mean_over_frames(name, "afssim_n", 0.0)
-        rows.append(
-            {
-                "workload": name,
-                "speedup": base["cycles"] / off["cycles"],
-                "energy_reduction": 1.0 - off["energy_nj"] / base["energy_nj"],
-            }
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            off = ctx.mean_over_frames(name, "afssim_n", 0.0)
+            rows.append(
+                {
+                    "workload": name,
+                    "speedup": base["cycles"] / off["cycles"],
+                    "energy_reduction": 1.0 - off["energy_nj"] / base["energy_nj"],
+                }
+            )
+    if not rows:
+        return ExperimentResult(
+            experiment="fig5", title=TITLE, rows=[],
+            notes="(all workloads failed)",
         )
     mean_speed = sum(r["speedup"] for r in rows) / len(rows)
     mean_energy = sum(r["energy_reduction"] for r in rows) / len(rows)

@@ -21,17 +21,23 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     tex_fracs = []
     reductions = []
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        off = ctx.mean_over_frames(name, "afssim_n", 0.0)
-        total_on = base["total_bytes"]
-        for label, metrics in (("AF-on", base), ("AF-off", off)):
-            row = {"workload": name, "mode": label}
-            for cat in CATEGORIES:
-                row[cat] = metrics[f"{cat}_bytes"] / total_on
-            row["total"] = metrics["total_bytes"] / total_on
-            rows.append(row)
-        tex_fracs.append(base["texture_bytes"] / total_on)
-        reductions.append(1.0 - off["total_bytes"] / total_on)
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            off = ctx.mean_over_frames(name, "afssim_n", 0.0)
+            total_on = base["total_bytes"]
+            for label, metrics in (("AF-on", base), ("AF-off", off)):
+                row = {"workload": name, "mode": label}
+                for cat in CATEGORIES:
+                    row[cat] = metrics[f"{cat}_bytes"] / total_on
+                row["total"] = metrics["total_bytes"] / total_on
+                rows.append(row)
+            tex_fracs.append(base["texture_bytes"] / total_on)
+            reductions.append(1.0 - off["total_bytes"] / total_on)
+    if not tex_fracs:
+        return ExperimentResult(
+            experiment="fig6", title=TITLE, rows=rows,
+            notes="(all workloads failed)",
+        )
     notes = (
         f"AF-on texture share {sum(tex_fracs) / len(tex_fracs):.0%} of bandwidth "
         f"(paper ~71%); disabling AF cuts total traffic by "

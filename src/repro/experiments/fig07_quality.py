@@ -18,13 +18,19 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
     rows = []
     for name in ctx.workload_list:
-        off = ctx.mean_over_frames(name, "afssim_n", 0.0)
-        rows.append(
-            {
-                "workload": name,
-                "mssim_af_off": off["mssim"],
-                "quality_loss": 1.0 - off["mssim"],
-            }
+        with ctx.isolate(name):
+            off = ctx.mean_over_frames(name, "afssim_n", 0.0)
+            rows.append(
+                {
+                    "workload": name,
+                    "mssim_af_off": off["mssim"],
+                    "quality_loss": 1.0 - off["mssim"],
+                }
+            )
+    if not rows:
+        return ExperimentResult(
+            experiment="fig7", title=TITLE, rows=[],
+            notes="(all workloads failed)",
         )
     mean_loss = sum(r["quality_loss"] for r in rows) / len(rows)
     rows.append(

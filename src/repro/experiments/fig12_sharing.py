@@ -21,16 +21,24 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
     rows = []
     for name in ctx.workload_list:
-        fracs = []
-        for frame in range(ctx.frames):
-            cap = ctx.capture(name, frame)
-            aniso = cap.n > 1
-            if not aniso.any():
-                continue
-            weights = cap.n[aniso].astype(np.float64)
-            share = cap.share_fraction[aniso]
-            fracs.append(float((share * weights).sum() / weights.sum()))
-        rows.append({"workload": name, "sharing_fraction": float(np.mean(fracs))})
+        with ctx.isolate(name):
+            fracs = []
+            for frame in range(ctx.frames):
+                cap = ctx.capture(name, frame)
+                aniso = cap.n > 1
+                if not aniso.any():
+                    continue
+                weights = cap.n[aniso].astype(np.float64)
+                share = cap.share_fraction[aniso]
+                fracs.append(float((share * weights).sum() / weights.sum()))
+            rows.append(
+                {"workload": name, "sharing_fraction": float(np.mean(fracs))}
+            )
+    if not rows:
+        return ExperimentResult(
+            experiment="fig12", title=TITLE, rows=[],
+            notes="(all workloads failed)",
+        )
     mean = float(np.mean([r["sharing_fraction"] for r in rows]))
     rows.append({"workload": "average", "sharing_fraction": mean})
     notes = f"average sharing {mean:.0%} (paper: 62% average)"

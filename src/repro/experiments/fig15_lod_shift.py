@@ -38,43 +38,48 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     device = PerceptionAwareTextureUnit(get_scenario("patu"), DEFAULT_THRESHOLD)
     rows = []
     for name in ctx.workload_list:
-        quality_shift = []
-        quality_reuse = []
-        sharp_shift = []
-        sharp_reuse = []
-        for frame in range(ctx.frames):
-            cap = ctx.capture(name, frame)
-            decision = device.decide(cap.n, cap.txds)
-            approx = decision.prediction.approximated
-            if approx.sum() < 64:
-                continue
-            mask = np.zeros((cap.height, cap.width), dtype=bool)
-            mask[cap.rows[approx], cap.cols[approx]] = True
+        with ctx.isolate(name):
+            quality_shift = []
+            quality_reuse = []
+            sharp_shift = []
+            sharp_reuse = []
+            for frame in range(ctx.frames):
+                cap = ctx.capture(name, frame)
+                decision = device.decide(cap.n, cap.txds)
+                approx = decision.prediction.approximated
+                if approx.sum() < 64:
+                    continue
+                mask = np.zeros((cap.height, cap.width), dtype=bool)
+                mask[cap.rows[approx], cap.cols[approx]] = True
 
-            af_image = cap.baseline_luminance
-            # Naive substitution (LOD shift) vs LOD reuse, only on the
-            # approximated pixels; the rest of the frame stays AF.
-            shift_colors = cap.af_color.copy()
-            shift_colors[approx] = cap.tf_color[approx]
-            reuse_colors = cap.af_color.copy()
-            reuse_colors[approx] = cap.tfa_color[approx]
-            shift_image = cap.luminance_image(shift_colors)
-            reuse_image = cap.luminance_image(reuse_colors)
+                af_image = cap.baseline_luminance
+                # Naive substitution (LOD shift) vs LOD reuse, only on the
+                # approximated pixels; the rest of the frame stays AF.
+                shift_colors = cap.af_color.copy()
+                shift_colors[approx] = cap.tf_color[approx]
+                reuse_colors = cap.af_color.copy()
+                reuse_colors[approx] = cap.tfa_color[approx]
+                shift_image = cap.luminance_image(shift_colors)
+                reuse_image = cap.luminance_image(reuse_colors)
 
-            quality_shift.append(mssim_fn(af_image, shift_image))
-            quality_reuse.append(mssim_fn(af_image, reuse_image))
-            sharp_shift.append(sharpness_ratio(shift_image, af_image, mask))
-            sharp_reuse.append(sharpness_ratio(reuse_image, af_image, mask))
-        if not quality_shift:
-            continue
-        rows.append(
-            {
-                "workload": name,
-                "mssim_lod_shift": float(np.mean(quality_shift)),
-                "mssim_lod_reuse": float(np.mean(quality_reuse)),
-                "sharpness_vs_af_shift": float(np.mean(sharp_shift)),
-                "sharpness_vs_af_reuse": float(np.mean(sharp_reuse)),
-            }
+                quality_shift.append(mssim_fn(af_image, shift_image))
+                quality_reuse.append(mssim_fn(af_image, reuse_image))
+                sharp_shift.append(sharpness_ratio(shift_image, af_image, mask))
+                sharp_reuse.append(sharpness_ratio(reuse_image, af_image, mask))
+            if quality_shift:
+                rows.append(
+                    {
+                        "workload": name,
+                        "mssim_lod_shift": float(np.mean(quality_shift)),
+                        "mssim_lod_reuse": float(np.mean(quality_reuse)),
+                        "sharpness_vs_af_shift": float(np.mean(sharp_shift)),
+                        "sharpness_vs_af_reuse": float(np.mean(sharp_reuse)),
+                    }
+                )
+    if not rows:
+        return ExperimentResult(
+            experiment="fig15", title=TITLE, rows=[],
+            notes="(all workloads failed or had too few approximated pixels)",
         )
     avg = {
         "workload": "average",

@@ -23,15 +23,23 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = []
     reductions = {s: [] for s in SCENARIO_ORDER}
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        row = {"workload": name}
-        for scenario in SCENARIO_ORDER:
-            threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
-            point = ctx.mean_over_frames(name, scenario, threshold)
-            norm = point["request_latency"] / base["request_latency"]
-            row[scenario] = norm
-            reductions[scenario].append(1.0 - norm)
-        rows.append(row)
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            row = {"workload": name}
+            norms = {}
+            for scenario in SCENARIO_ORDER:
+                threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
+                point = ctx.mean_over_frames(name, scenario, threshold)
+                norms[scenario] = point["request_latency"] / base["request_latency"]
+            row.update(norms)
+            rows.append(row)
+            for scenario, norm in norms.items():
+                reductions[scenario].append(1.0 - norm)
+    if not rows:
+        return ExperimentResult(
+            experiment="fig18", title=TITLE, rows=[],
+            notes="(all workloads failed)",
+        )
     avg_row = {"workload": "average"}
     for scenario in SCENARIO_ORDER:
         avg_row[scenario] = 1.0 - float(np.mean(reductions[scenario]))

@@ -28,17 +28,25 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = []
     acc = {s: {"speedup": [], "mssim": []} for s in SCENARIO_ORDER}
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        row = {"workload": name}
-        for scenario in SCENARIO_ORDER:
-            threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
-            point = ctx.mean_over_frames(name, scenario, threshold)
-            speedup = base["cycles"] / point["cycles"]
-            row[f"{scenario}_speedup"] = speedup
-            row[f"{scenario}_mssim"] = point["mssim"]
-            acc[scenario]["speedup"].append(speedup)
-            acc[scenario]["mssim"].append(point["mssim"])
-        rows.append(row)
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            row = {"workload": name}
+            points = {}
+            for scenario in SCENARIO_ORDER:
+                threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
+                point = ctx.mean_over_frames(name, scenario, threshold)
+                points[scenario] = (base["cycles"] / point["cycles"], point["mssim"])
+            for scenario, (speedup, mssim) in points.items():
+                row[f"{scenario}_speedup"] = speedup
+                row[f"{scenario}_mssim"] = mssim
+                acc[scenario]["speedup"].append(speedup)
+                acc[scenario]["mssim"].append(mssim)
+            rows.append(row)
+    if not rows:
+        return ExperimentResult(
+            experiment="fig19", title=TITLE, rows=[],
+            notes="(all workloads failed)",
+        )
     avg = {"workload": "average"}
     for scenario in SCENARIO_ORDER:
         avg[f"{scenario}_speedup"] = float(np.mean(acc[scenario]["speedup"]))

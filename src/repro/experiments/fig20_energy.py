@@ -24,15 +24,23 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = []
     acc = {s: [] for s in SCENARIO_ORDER}
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        row = {"workload": name}
-        for scenario in SCENARIO_ORDER:
-            threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
-            point = ctx.mean_over_frames(name, scenario, threshold)
-            norm = point["energy_nj"] / base["energy_nj"]
-            row[scenario] = norm
-            acc[scenario].append(norm)
-        rows.append(row)
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            row = {"workload": name}
+            norms = {}
+            for scenario in SCENARIO_ORDER:
+                threshold = 1.0 if scenario == "baseline" else DEFAULT_THRESHOLD
+                point = ctx.mean_over_frames(name, scenario, threshold)
+                norms[scenario] = point["energy_nj"] / base["energy_nj"]
+            row.update(norms)
+            rows.append(row)
+            for scenario, norm in norms.items():
+                acc[scenario].append(norm)
+    if not rows:
+        return ExperimentResult(
+            experiment="fig20", title=TITLE, rows=[],
+            notes="(all workloads failed)",
+        )
     avg_row = {"workload": "average"}
     for scenario in SCENARIO_ORDER:
         avg_row[scenario] = float(np.mean(acc[scenario]))

@@ -35,20 +35,28 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = []
     acc: "dict[tuple[str, bool], list[float]]" = {}
     for name in ctx.workload_list:
-        base = ctx.mean_over_frames(name, "baseline", 1.0)
-        row = {"workload": name}
-        for label, tc, llc in CACHE_POINTS:
-            for patu in (False, True):
-                scenario = "patu" if patu else "baseline"
-                threshold = DEFAULT_THRESHOLD if patu else 1.0
-                point = ctx.mean_over_frames(
-                    name, scenario, threshold, llc_scale=llc, tc_scale=tc
-                )
-                speedup = base["cycles"] / point["cycles"]
-                col = f"{label}+PATU" if patu else label
+        with ctx.isolate(name):
+            base = ctx.mean_over_frames(name, "baseline", 1.0)
+            row = {"workload": name}
+            speedups = {}
+            for label, tc, llc in CACHE_POINTS:
+                for patu in (False, True):
+                    scenario = "patu" if patu else "baseline"
+                    threshold = DEFAULT_THRESHOLD if patu else 1.0
+                    point = ctx.mean_over_frames(
+                        name, scenario, threshold, llc_scale=llc, tc_scale=tc
+                    )
+                    col = f"{label}+PATU" if patu else label
+                    speedups[(label, patu, col)] = base["cycles"] / point["cycles"]
+            for (label, patu, col), speedup in speedups.items():
                 row[col] = speedup
                 acc.setdefault((label, patu), []).append(speedup)
-        rows.append(row)
+            rows.append(row)
+    if not rows:
+        return ExperimentResult(
+            experiment="fig21", title=TITLE, rows=[],
+            notes="(all workloads failed)",
+        )
     avg_row = {"workload": "average"}
     for label, tc, llc in CACHE_POINTS:
         for patu in (False, True):

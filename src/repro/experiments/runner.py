@@ -6,10 +6,21 @@ that share workloads (most of them) render each frame exactly once per
 process. Cache-scaling experiments (Fig. 21) evaluate the *same*
 captures under derived GPU configurations — captures carry texel
 addresses, not cache state, so they are configuration-independent.
+
+Sweeps are fault-tolerant (``docs/resilience.md``): per-(workload,
+frame) failures inside :meth:`ExperimentContext.isolate` /
+:meth:`ExperimentContext.mean_over_frames` are caught, recorded as
+structured :class:`~repro.resilience.FailureRecord`\\ s, and the sweep
+continues with the remaining work. When a ``checkpoint_path`` is set,
+evaluated design-point metrics persist to a versioned, atomically
+written checkpoint so an interrupted sweep resumes instead of
+re-rendering.
 """
 
 from __future__ import annotations
 
+import contextlib
+import pathlib
 from dataclasses import dataclass, field
 
 from ..config import BASELINE_CONFIG, GpuConfig
@@ -17,6 +28,7 @@ from ..core.scenarios import get_scenario
 from ..errors import ExperimentError
 from ..obs import TELEMETRY
 from ..renderer.session import FrameCapture, FrameResult, RenderSession
+from ..resilience import FailureRecord, load_checkpoint, save_checkpoint
 from ..workloads.games import get_workload, workload_names
 from ..workloads.rbench import rbench_workload
 from ..workloads.scene import Workload
@@ -39,12 +51,18 @@ DEFAULT_WORKLOADS = (
 
 @dataclass
 class ExperimentResult:
-    """Rows of one reproduced artifact plus free-form notes."""
+    """Rows of one reproduced artifact plus free-form notes.
+
+    ``failures`` lists the isolated per-(workload, frame) errors the
+    sweep survived — an experiment with failures still has rows for
+    everything that succeeded.
+    """
 
     experiment: str
     title: str
     rows: "list[dict]"
     notes: str = ""
+    failures: "list[FailureRecord]" = field(default_factory=list)
 
     def column(self, key: str) -> "list":
         return [row[key] for row in self.rows]
@@ -53,7 +71,9 @@ class ExperimentResult:
 def format_table(result: ExperimentResult) -> str:
     """Render an ExperimentResult as an aligned text table."""
     if not result.rows:
-        return f"== {result.experiment}: {result.title} ==\n(no rows)\n"
+        lines = [f"== {result.experiment}: {result.title} ==", "(no rows)"]
+        lines.extend(_failure_lines(result))
+        return "\n".join(lines) + "\n"
     keys = list(result.rows[0].keys())
     cells = [[_fmt(row.get(k)) for k in keys] for row in result.rows]
     widths = [
@@ -66,7 +86,16 @@ def format_table(result: ExperimentResult) -> str:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     if result.notes:
         lines.append(result.notes)
+    lines.extend(_failure_lines(result))
     return "\n".join(lines) + "\n"
+
+
+def _failure_lines(result: ExperimentResult) -> "list[str]":
+    if not result.failures:
+        return []
+    lines = [f"!! {len(result.failures)} isolated failure(s):"]
+    lines.extend(f"!!   {record}" for record in result.failures)
+    return lines
 
 
 def _fmt(value) -> str:
@@ -87,12 +116,23 @@ def run_experiment(exp_id: str, module, ctx: "ExperimentContext") -> ExperimentR
         f"experiment.{exp_id}", workloads=len(ctx.workload_list)
     ):
         result = module.run(ctx)
-    TELEMETRY.progress(f"experiment {exp_id}: {len(result.rows)} rows")
+    result.failures.extend(ctx.drain_failures())
+    ctx.save_checkpoint()
+    TELEMETRY.progress(
+        f"experiment {exp_id}: {len(result.rows)} rows, "
+        f"{len(result.failures)} isolated failure(s)"
+    )
     return result
 
 
 class ExperimentContext:
-    """A render session plus caches shared across experiments."""
+    """A render session plus caches shared across experiments.
+
+    With ``checkpoint_path`` set, every design-point metrics dict is
+    persisted (atomically, every ``checkpoint_every`` new evaluations
+    and at each experiment end) and :meth:`load_checkpoint` seeds the
+    cache so resumed sweeps skip checkpointed evaluations entirely.
+    """
 
     def __init__(
         self,
@@ -101,6 +141,8 @@ class ExperimentContext:
         frames: int = 2,
         workloads: "tuple[str, ...]" = DEFAULT_WORKLOADS,
         config: GpuConfig = BASELINE_CONFIG,
+        checkpoint_path: "str | pathlib.Path | None" = None,
+        checkpoint_every: int = 16,
     ) -> None:
         if frames < 1:
             raise ExperimentError("need at least one frame per workload")
@@ -112,6 +154,95 @@ class ExperimentContext:
         self._captures: "dict[tuple[str, int], FrameCapture]" = {}
         self._results: "dict" = {}
         self._alt_sessions: "dict[tuple[int, int], RenderSession]" = {}
+        #: Checkpointable design-point metrics (see docs/resilience.md).
+        self._metrics: "dict[tuple, dict[str, float]]" = {}
+        self.failures: "list[FailureRecord]" = []
+        self.checkpoint_path = (
+            pathlib.Path(checkpoint_path) if checkpoint_path else None
+        )
+        self.checkpoint_every = max(1, checkpoint_every)
+        self._dirty_metrics = 0
+
+    # -- failure isolation ---------------------------------------------
+
+    def record_failure(
+        self,
+        workload: str,
+        frame: "int | None",
+        stage: str,
+        error: BaseException,
+    ) -> FailureRecord:
+        """Record one isolated failure and keep the sweep going."""
+        record = FailureRecord(
+            workload=workload,
+            frame=frame,
+            stage=stage,
+            error_type=type(error).__name__,
+            message=str(error),
+        )
+        self.failures.append(record)
+        TELEMETRY.count("experiment.failures")
+        TELEMETRY.progress(f"isolated failure: {record}")
+        return record
+
+    @contextlib.contextmanager
+    def isolate(self, workload: str, frame: "int | None" = None,
+                stage: str = "experiment"):
+        """Run one sweep step; failures are recorded, not propagated.
+
+        ``KeyboardInterrupt``/``SystemExit`` still propagate (so SIGINT
+        reaches the checkpoint-flush path), every other exception is
+        converted into a :class:`FailureRecord`.
+        """
+        try:
+            yield
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            self.record_failure(workload, frame, stage, exc)
+
+    def drain_failures(self) -> "list[FailureRecord]":
+        """Return and clear the accumulated failure records."""
+        drained, self.failures = self.failures, []
+        return drained
+
+    # -- checkpointing --------------------------------------------------
+
+    def checkpoint_fingerprint(self) -> "dict[str, object]":
+        """Identity of this context for checkpoint compatibility."""
+        return {
+            "scale": self.scale,
+            "frames": self.frames,
+            "config": repr(self.base_config),
+        }
+
+    def load_checkpoint(self) -> int:
+        """Seed the metrics cache from ``checkpoint_path``, if present.
+
+        Returns the number of design points loaded. A missing file is
+        a clean start (returns 0); a corrupt or incompatible file
+        raises :class:`~repro.errors.CheckpointError`.
+        """
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return 0
+        loaded = load_checkpoint(
+            self.checkpoint_path, fingerprint=self.checkpoint_fingerprint()
+        )
+        for key, values in loaded.items():
+            self._metrics.setdefault(key, values)
+        TELEMETRY.count("experiment.checkpoint_loaded_points", len(loaded))
+        return len(loaded)
+
+    def save_checkpoint(self) -> "pathlib.Path | None":
+        """Atomically flush the metrics cache to ``checkpoint_path``."""
+        if self.checkpoint_path is None:
+            return None
+        path = save_checkpoint(
+            self.checkpoint_path,
+            fingerprint=self.checkpoint_fingerprint(),
+            metrics=self._metrics,
+        )
+        self._dirty_metrics = 0
+        TELEMETRY.count("experiment.checkpoint_saves")
+        return path
 
     # -- capture / evaluate with memoization ---------------------------
 
@@ -164,6 +295,43 @@ class ExperimentContext:
 
     # -- aggregation ----------------------------------------------------
 
+    def frame_metrics(
+        self,
+        workload_name: str,
+        frame: int,
+        scenario: str,
+        threshold: float,
+        *,
+        llc_scale: int = 1,
+        tc_scale: int = 1,
+    ) -> "dict[str, float]":
+        """Scalar metrics of one design point on one frame, cached.
+
+        This is the checkpointable unit of work: on a cache hit (in
+        memory or resumed from a checkpoint) no rendering, evaluation
+        or ``experiment.evaluations`` counting happens at all.
+        """
+        key = (
+            workload_name, frame, scenario, round(threshold, 6),
+            llc_scale, tc_scale,
+        )
+        cached = self._metrics.get(key)
+        if cached is not None:
+            return cached
+        r = self.result(
+            workload_name, frame, scenario, threshold,
+            llc_scale=llc_scale, tc_scale=tc_scale,
+        )
+        metrics = extract_frame_metrics(r)
+        self._metrics[key] = metrics
+        self._dirty_metrics += 1
+        if (
+            self.checkpoint_path is not None
+            and self._dirty_metrics >= self.checkpoint_every
+        ):
+            self.save_checkpoint()
+        return metrics
+
     def mean_over_frames(
         self,
         workload_name: str,
@@ -173,32 +341,57 @@ class ExperimentContext:
         llc_scale: int = 1,
         tc_scale: int = 1,
     ) -> "dict[str, float]":
-        """Frame-averaged metrics for one (workload, design point)."""
+        """Frame-averaged metrics for one (workload, design point).
+
+        Individual frame failures are isolated: the failing frame is
+        recorded as a :class:`FailureRecord` and the average covers the
+        frames that succeeded. Only when *every* frame fails does the
+        workload's design point raise (callers running under
+        :meth:`isolate` then record one workload-level failure).
+        """
         acc: "dict[str, float]" = {}
+        succeeded = 0
         for frame in range(self.frames):
-            r = self.result(
-                workload_name, frame, scenario, threshold,
-                llc_scale=llc_scale, tc_scale=tc_scale,
-            )
-            metrics = {
-                "cycles": r.frame_cycles,
-                "mssim": r.mssim,
-                "energy_nj": r.total_energy_nj,
-                "request_latency": r.request_latency,
-                "approximation_rate": r.approximation_rate,
-                "quad_divergence": r.quad_divergence,
-                "dram_bytes": float(r.hierarchy.dram_bytes),
-                "texture_bytes": float(r.bandwidth.texture_bytes),
-                "color_bytes": float(r.bandwidth.color_bytes),
-                "depth_bytes": float(r.bandwidth.depth_bytes),
-                "geometry_bytes": float(r.bandwidth.geometry_bytes),
-                "total_bytes": float(r.bandwidth.total_bytes),
-                "fps": r.fps,
-                "trilinear": float(r.events.trilinear_samples),
-            }
+            try:
+                metrics = self.frame_metrics(
+                    workload_name, frame, scenario, threshold,
+                    llc_scale=llc_scale, tc_scale=tc_scale,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — per-frame isolation
+                self.record_failure(workload_name, frame, "evaluate", exc)
+                continue
+            succeeded += 1
             for k, v in metrics.items():
-                acc[k] = acc.get(k, 0.0) + v / self.frames
-        return acc
+                acc[k] = acc.get(k, 0.0) + v
+        if not succeeded:
+            raise ExperimentError(
+                f"all {self.frames} frame(s) of {workload_name} "
+                f"[{scenario} @ {threshold:g}] failed"
+            )
+        return {k: v / succeeded for k, v in acc.items()}
+
+
+def extract_frame_metrics(r: FrameResult) -> "dict[str, float]":
+    """The scalar metrics dict persisted per (frame, design point)."""
+    return {
+        "cycles": r.frame_cycles,
+        "mssim": r.mssim,
+        "energy_nj": r.total_energy_nj,
+        "request_latency": r.request_latency,
+        "approximation_rate": r.approximation_rate,
+        "quad_divergence": r.quad_divergence,
+        "dram_bytes": float(r.hierarchy.dram_bytes),
+        "texture_bytes": float(r.bandwidth.texture_bytes),
+        "color_bytes": float(r.bandwidth.color_bytes),
+        "depth_bytes": float(r.bandwidth.depth_bytes),
+        "geometry_bytes": float(r.bandwidth.geometry_bytes),
+        "total_bytes": float(r.bandwidth.total_bytes),
+        "fps": r.fps,
+        "trilinear": float(r.events.trilinear_samples),
+        "degraded_pixels": float(r.degraded_pixels),
+    }
 
 
 _DEFAULT_CONTEXT: "ExperimentContext | None" = None
@@ -210,3 +403,13 @@ def get_default_context() -> ExperimentContext:
     if _DEFAULT_CONTEXT is None:
         _DEFAULT_CONTEXT = ExperimentContext()
     return _DEFAULT_CONTEXT
+
+
+def reset_default_context() -> None:
+    """Drop the process-wide context (test isolation, reconfiguration).
+
+    Suites that touch :func:`get_default_context` call this from their
+    fixtures so cached captures/results never leak across tests.
+    """
+    global _DEFAULT_CONTEXT
+    _DEFAULT_CONTEXT = None

@@ -21,9 +21,15 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
     rows = []
     for name in ctx.workload_list:
-        point = ctx.mean_over_frames(name, "patu", DEFAULT_THRESHOLD)
-        rows.append(
-            {"workload": name, "quad_divergence": point["quad_divergence"]}
+        with ctx.isolate(name):
+            point = ctx.mean_over_frames(name, "patu", DEFAULT_THRESHOLD)
+            rows.append(
+                {"workload": name, "quad_divergence": point["quad_divergence"]}
+            )
+    if not rows:
+        return ExperimentResult(
+            experiment="sec5c", title=TITLE, rows=[],
+            notes="(all workloads failed)",
         )
     mean = float(np.mean([r["quad_divergence"] for r in rows]))
     peak = float(np.max([r["quad_divergence"] for r in rows]))

@@ -1,0 +1,72 @@
+"""Crash-safe artifact writes: temp file + atomic rename, with retry.
+
+Every artifact the toolkit produces (experiment tables, reports,
+``trace.json``, ``metrics.jsonl``, ``bench_results/*.txt`` and
+checkpoints) goes through :func:`atomic_write_text`: the content is
+written to a temporary sibling file, flushed and fsynced, then moved
+over the destination with :func:`os.replace`. A crash mid-write
+therefore never truncates a previously complete artifact — readers see
+either the old file or the new one, never a partial write.
+
+Transient ``OSError``s (e.g. NFS hiccups, antivirus scanners holding
+the destination) are retried a bounded number of times with a small
+linear backoff before the error propagates.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+#: Default bounded-retry policy for transient OSErrors.
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF_S = 0.05
+
+
+def atomic_write_text(
+    path,
+    text: str,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> pathlib.Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    return atomic_write_bytes(
+        path, text.encode("utf-8"), retries=retries, backoff_s=backoff_s
+    )
+
+
+def atomic_write_bytes(
+    path,
+    data: bytes,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> pathlib.Path:
+    """Atomically replace ``path`` with ``data``; returns the path.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` stays on one filesystem (rename atomicity).
+    """
+    path = pathlib.Path(path)
+    last_error: "OSError | None" = None
+    for attempt in range(max(1, retries)):
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}.{attempt}")
+        try:
+            with tmp.open("wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            return path
+        except OSError as exc:
+            last_error = exc
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            if attempt + 1 < max(1, retries):
+                time.sleep(backoff_s * (attempt + 1))
+    assert last_error is not None
+    raise last_error

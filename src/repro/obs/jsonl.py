@@ -13,6 +13,8 @@ import pathlib
 
 import numpy as np
 
+from ..ioutil import atomic_write_text
+
 
 def jsonable(value):
     """Recursively convert a value into plain JSON-serializable types."""
@@ -34,10 +36,9 @@ def jsonable(value):
 def write_metrics_jsonl(records: "list[dict]", path) -> pathlib.Path:
     """Write frame records as one JSON object per line."""
     path = pathlib.Path(path)
-    with path.open("w") as handle:
-        for record in records:
-            handle.write(json.dumps(jsonable(record)))
-            handle.write("\n")
+    lines = [json.dumps(jsonable(record)) for record in records]
+    text = "\n".join(lines) + "\n" if lines else ""
+    atomic_write_text(path, text)
     return path
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import pathlib
 
+from ..ioutil import atomic_write_text
 from .jsonl import jsonable
 from .telemetry import Telemetry
 
@@ -73,5 +74,5 @@ def write_chrome_trace(telemetry: Telemetry, path) -> pathlib.Path:
         "displayTimeUnit": "ms",
         "otherData": {"metrics": jsonable(telemetry.metrics.summary())},
     }
-    path.write_text(json.dumps(document))
+    atomic_write_text(path, json.dumps(document))
     return path

@@ -36,6 +36,8 @@ from ..power.components import EnergyParams
 from ..power.energy import EnergyBreakdown, EnergyModel, FrameEvents
 from ..quality.ssim import mssim as mssim_fn
 from ..raster.quads import quad_divergence_fraction, quad_ids
+from ..resilience.faults import FAULTS
+from ..resilience.guards import sanitize_colors
 from ..texture.addressing import TextureLayout
 from ..texture.mipmap import MipChain
 from ..texture.unit import TEXELS_PER_TRILINEAR, TextureUnit
@@ -117,6 +119,10 @@ class FrameResult:
     energy: EnergyBreakdown
     events: FrameEvents
     fps: float
+    #: Pixels whose predictor state was corrupted and fell back to
+    #: exact AF, plus a capture is never allowed to carry NaN colors —
+    #: see docs/resilience.md for the degradation policy.
+    degraded_pixels: int = 0
     luminance: "np.ndarray | None" = None
 
     @property
@@ -142,6 +148,7 @@ class FrameResult:
             "mssim": self.mssim,
             "approximation_rate": self.approximation_rate,
             "quad_divergence": self.quad_divergence,
+            "degraded_pixels": self.degraded_pixels,
             "frame_cycles": self.frame_cycles,
             "fps": self.fps,
             "request_latency": self.request_latency,
@@ -315,6 +322,13 @@ class RenderSession:
                 tf_lines[mask] = batch.tf_lines
                 tfa_lines[mask] = batch.tf_af_lod_lines
 
+        # Degradation guard: corrupted texels (injected or genuine) are
+        # clamped to a safe value here, so no NaN/inf ever reaches the
+        # reference image, the quality model, or a FrameResult.
+        af_color = sanitize_colors(af_color).value
+        tf_color = sanitize_colors(tf_color).value
+        tfa_color = sanitize_colors(tfa_color).value
+
         with TELEMETRY.span("capture.csr_merge"):
             # Frame-level CSR over AF samples, merged from per-texture batches.
             row_ptr = np.zeros(npx + 1, dtype=np.int64)
@@ -444,6 +458,10 @@ class RenderSession:
                 tfa_mask = decision.mode == FilterMode.TF_AF_LOD
                 colors[tf_mask] = capture.tf_color[tf_mask]
                 colors[tfa_mask] = capture.tfa_color[tfa_mask]
+                # Belt-and-braces: captures are sanitized at creation,
+                # but a deserialized or hand-built capture must not be
+                # able to push NaN into the quality model either.
+                colors = sanitize_colors(colors).value
 
             with TELEMETRY.span("evaluate.mssim"):
                 if scenario.name == "baseline":
@@ -452,6 +470,11 @@ class RenderSession:
                 else:
                     lum = capture.luminance_image(colors)
                     quality = mssim_fn(capture.baseline_luminance, lum)
+                if not np.isfinite(quality):
+                    # Score a fully-degraded frame as zero quality
+                    # rather than propagating NaN into results.
+                    TELEMETRY.count("resilience.mssim_fallbacks")
+                    quality = 0.0
 
             with TELEMETRY.span("evaluate.fetch_stream"):
                 lines, lengths = self._fetch_stream(capture, decision)
@@ -494,6 +517,7 @@ class RenderSession:
                 energy=energy,
                 events=events,
                 fps=self._gpu_timing.fps(frame_timing),
+                degraded_pixels=decision.prediction.degraded_count,
                 luminance=lum if store_image else None,
             )
         if TELEMETRY.enabled:

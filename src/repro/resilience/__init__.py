@@ -1,0 +1,65 @@
+"""Resilient experiment execution: faults, degradation, checkpoints.
+
+Three pillars (see ``docs/resilience.md``):
+
+* :mod:`repro.resilience.faults` — deterministic, seedable fault
+  injection into the simulated PATU pipeline (texel corruption,
+  hash-table garbage, count-tag bit flips, dropped fetches), armed via
+  the process-wide :data:`FAULTS` injector;
+* :mod:`repro.resilience.guards` — graceful degradation: sanitize
+  corrupted state, fall back to exact filtering, report through
+  :class:`DegradedResult` and telemetry counters;
+* :mod:`repro.resilience.checkpoint` — versioned, atomically-written
+  experiment checkpoints powering ``--resume``.
+
+:class:`FailureRecord` is the structured record of one isolated
+per-(workload, frame) failure inside an experiment sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .checkpoint import SCHEMA_VERSION, load_checkpoint, save_checkpoint
+from .faults import FAULTS, FaultInjector, FaultPlan
+from .guards import DegradedResult, safe_anisotropy, safe_txds, sanitize_colors
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One isolated failure inside an experiment sweep."""
+
+    workload: str
+    frame: "int | None"
+    stage: str
+    error_type: str
+    message: str
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "workload": self.workload,
+            "frame": self.frame,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = self.workload if self.frame is None \
+            else f"{self.workload} frame {self.frame}"
+        return f"[{self.stage}] {where}: {self.error_type}: {self.message}"
+
+
+__all__ = [
+    "DegradedResult",
+    "FAULTS",
+    "FailureRecord",
+    "FaultInjector",
+    "FaultPlan",
+    "SCHEMA_VERSION",
+    "load_checkpoint",
+    "safe_anisotropy",
+    "safe_txds",
+    "sanitize_colors",
+    "save_checkpoint",
+]

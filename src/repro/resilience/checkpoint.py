@@ -1,0 +1,102 @@
+"""Versioned experiment checkpoints (crash-safe, resumable sweeps).
+
+A checkpoint is a JSON document holding the design-point metrics an
+:class:`~repro.experiments.runner.ExperimentContext` has already
+evaluated, keyed by the same ``(workload, frame, scenario, threshold,
+llc_scale, tc_scale)`` tuple the in-memory cache uses. Interrupted
+sweeps reload it with ``--resume`` and skip every checkpointed
+evaluation instead of re-rendering.
+
+Format (schema version 1)::
+
+    {
+      "schema": 1,
+      "fingerprint": {"scale": ..., "frames": ..., "config": "..."},
+      "entries": [{"key": [wl, frame, scenario, thr, llc, tc],
+                   "metrics": {"cycles": ..., "mssim": ..., ...}}, ...]
+    }
+
+Writes are atomic (:mod:`repro.ioutil`); loads validate the schema
+version and the context fingerprint and raise
+:class:`~repro.errors.CheckpointError` on any mismatch or corruption —
+a stale or truncated checkpoint can never silently poison a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..errors import CheckpointError
+from ..ioutil import atomic_write_text
+
+#: Bump when the entry layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The cache-key tuple layout (documentation + validation).
+KEY_FIELDS = ("workload", "frame", "scenario", "threshold",
+              "llc_scale", "tc_scale")
+
+
+def save_checkpoint(
+    path,
+    *,
+    fingerprint: "dict[str, object]",
+    metrics: "dict[tuple, dict[str, float]]",
+) -> pathlib.Path:
+    """Atomically write ``metrics`` (the evaluated design points)."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "entries": [
+            {"key": list(key), "metrics": values}
+            for key, values in sorted(metrics.items(), key=lambda kv: str(kv[0]))
+        ],
+    }
+    return atomic_write_text(path, json.dumps(document))
+
+
+def load_checkpoint(
+    path,
+    *,
+    fingerprint: "dict[str, object]",
+) -> "dict[tuple, dict[str, float]]":
+    """Load and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` if the file is corrupt, uses a
+    different schema version, or was produced by a context whose
+    fingerprint (scale, frame count, GPU config) does not match.
+    """
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt (invalid JSON): {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointError(f"checkpoint {path} is not a JSON object")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has schema {schema!r}, "
+            f"this build reads schema {SCHEMA_VERSION}"
+        )
+    theirs = document.get("fingerprint")
+    if theirs != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was written by an incompatible context: "
+            f"{theirs!r} != {fingerprint!r} — rerun without --resume or "
+            "match the original scale/frames/config"
+        )
+    metrics: "dict[tuple, dict[str, float]]" = {}
+    for entry in document.get("entries", []):
+        key = entry.get("key")
+        values = entry.get("metrics")
+        if not isinstance(key, list) or len(key) != len(KEY_FIELDS) \
+                or not isinstance(values, dict):
+            raise CheckpointError(f"checkpoint {path} has a malformed entry")
+        metrics[tuple(key)] = values
+    return metrics

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import TextureError
 from ..obs import TELEMETRY
+from ..resilience.faults import FAULTS
 from .addressing import TextureLayout
 from .anisotropic import anisotropic_filter
 from .footprint import FootprintInfo, compute_footprints
@@ -130,6 +131,22 @@ class TextureUnit:
                     + np.arange(TEXELS_PER_TRILINEAR)[None, :]
                 )
                 af_lines[line_slots.ravel()] = lines.reshape(-1)
+
+        if FAULTS.enabled:
+            # Injected hardware faults: garbage texels in the filtered
+            # outputs, and lost line fetches re-served from the line
+            # buffer. The capture layer sanitizes the colors (counting
+            # each scrubbed texel) before they reach the quality model.
+            af_color = FAULTS.corrupt_colors(af_color, "texture.af_color")
+            tf_color = FAULTS.corrupt_colors(tf_color, "texture.tf_color")
+            tf_af_lod_color = FAULTS.corrupt_colors(
+                tf_af_lod_color, "texture.tfa_color"
+            )
+            af_lines = FAULTS.drop_lines(af_lines, "texture.af_fetches")
+            tf_lines = FAULTS.drop_lines(tf_lines, "texture.tf_fetches")
+            tf_af_lod_lines = FAULTS.drop_lines(
+                tf_af_lod_lines, "texture.tfa_fetches"
+            )
 
         if TELEMETRY.enabled:
             TELEMETRY.count("texture.fragments", count)

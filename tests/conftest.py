@@ -11,7 +11,9 @@ import numpy as np
 import pytest
 
 from repro.config import GpuConfig
+from repro.experiments.runner import reset_default_context
 from repro.geometry.camera import Camera
+from repro.resilience import FAULTS
 from repro.geometry.mesh import make_box, make_quad
 from repro.renderer.session import RenderSession
 from repro.texture.image import Texture2D
@@ -77,3 +79,17 @@ def gradient_chain() -> MipChain:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_state():
+    """Keep the process-wide singletons from leaking between tests.
+
+    The default experiment context caches rendered frames keyed only by
+    (workload, frame) and the fault injector is a module-level global;
+    a test that configures either must not affect its neighbours.
+    """
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+    reset_default_context()

@@ -1,0 +1,106 @@
+"""Domain properties of the AF-SSIM predictors under adversarial input.
+
+The graceful-degradation contract (``docs/resilience.md``): for valid
+inputs the predictors return finite values in ``[0, 1]``; for
+degenerate inputs (NaN, infinity, out-of-domain) they raise a *typed*
+:class:`~repro.errors.DegenerateInputError` — they never return NaN.
+The two-stage predictor sits above those guards and must never raise
+at all: corrupted state is sanitized and marked degraded instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.af_ssim import af_ssim_n, af_ssim_txds
+from repro.core.predictor import TwoStagePredictor
+from repro.core.scenarios import get_scenario
+from repro.errors import DegenerateInputError
+
+_settings = settings(max_examples=60, deadline=None)
+
+#: Valid anisotropy degrees, including absurdly large but finite ones —
+#: the formula must stay overflow-free (no RuntimeWarning, no NaN).
+_valid_n = st.floats(
+    min_value=1.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+#: Degenerate N: anything below 1 (including -inf), NaN, +inf.
+_degenerate_n = st.one_of(
+    st.floats(max_value=1.0, exclude_max=True, allow_nan=False),
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+
+_valid_txds = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+_degenerate_txds = st.one_of(
+    st.floats(min_value=1.0 + 1e-6, allow_nan=False),
+    st.floats(max_value=-1e-6, allow_nan=False),
+    st.just(float("nan")),
+)
+
+_adversarial_float = st.floats(allow_nan=True, allow_infinity=True)
+
+
+@_settings
+@given(n=_valid_n)
+def test_af_ssim_n_maps_valid_degrees_into_unit_interval(n):
+    value = float(af_ssim_n(np.asarray([n]))[0])
+    assert np.isfinite(value)
+    assert 0.0 <= value <= 1.0
+
+
+@_settings
+@given(n=_degenerate_n)
+def test_af_ssim_n_raises_typed_error_for_degenerate_degrees(n):
+    with pytest.raises(DegenerateInputError):
+        af_ssim_n(np.asarray([n]))
+
+
+def test_af_ssim_n_boundary_values():
+    assert float(af_ssim_n(np.asarray([1.0]))[0]) == pytest.approx(1.0)
+    huge = float(af_ssim_n(np.asarray([1e300]))[0])
+    assert np.isfinite(huge)
+    assert 0.0 <= huge <= 1.0
+
+
+@_settings
+@given(t=_valid_txds)
+def test_af_ssim_txds_maps_valid_txds_into_unit_interval(t):
+    value = float(af_ssim_txds(np.asarray([t]))[0])
+    assert np.isfinite(value)
+    assert 0.0 <= value <= 1.0
+
+
+@_settings
+@given(t=_degenerate_txds)
+def test_af_ssim_txds_raises_typed_error_for_degenerate_txds(t):
+    with pytest.raises(DegenerateInputError):
+        af_ssim_txds(np.asarray([t]))
+
+
+@_settings
+@given(
+    n=st.lists(
+        st.integers(min_value=-8, max_value=64), min_size=1, max_size=32
+    ),
+    data=st.data(),
+)
+def test_predictor_never_raises_or_nans_on_adversarial_state(n, data):
+    txds = data.draw(
+        st.lists(_adversarial_float, min_size=len(n), max_size=len(n))
+    )
+    predictor = TwoStagePredictor(get_scenario("patu"), 0.4)
+    result = predictor.predict(
+        np.asarray(n, dtype=np.int64), np.asarray(txds, dtype=np.float64)
+    )
+    assert np.isfinite(result.predicted_n).all()
+    assert np.isfinite(result.predicted_txds).all()
+    # degraded pixels are never approximated — they fall back to AF
+    assert not (result.approximated & result.degraded).any()
+    # every invalid input element is flagged
+    bad_n = (np.asarray(n) < 1) | (np.asarray(n) > 16)
+    assert result.degraded[bad_n].all()

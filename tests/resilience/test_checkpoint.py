@@ -1,0 +1,94 @@
+"""Checkpoint format: round-trip, validation, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.experiments.runner import ExperimentContext
+from repro.resilience.checkpoint import (
+    SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+FP = {"scale": 0.25, "frames": 2, "config": "GpuConfig(test)"}
+
+METRICS = {
+    ("wolf-640x480", 0, "patu", 0.4, 1, 1): {"mssim": 0.93, "cycles": 1200.0},
+    ("wolf-640x480", 0, "baseline", 1.0, 1, 1): {"mssim": 1.0, "cycles": 1500.0},
+}
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "cp.json"
+    save_checkpoint(path, fingerprint=FP, metrics=METRICS)
+    assert load_checkpoint(path, fingerprint=FP) == METRICS
+
+
+def test_save_overwrites_atomically(tmp_path):
+    path = tmp_path / "cp.json"
+    save_checkpoint(path, fingerprint=FP, metrics={})
+    save_checkpoint(path, fingerprint=FP, metrics=METRICS)
+    assert load_checkpoint(path, fingerprint=FP) == METRICS
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "cp.json"]
+    assert leftovers == []
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(tmp_path / "absent.json", fingerprint=FP)
+
+
+def test_corrupt_json_raises(tmp_path):
+    path = tmp_path / "cp.json"
+    path.write_text('{"schema": 1, "entr')
+    with pytest.raises(CheckpointError, match="corrupt"):
+        load_checkpoint(path, fingerprint=FP)
+
+
+def test_schema_mismatch_raises(tmp_path):
+    path = tmp_path / "cp.json"
+    save_checkpoint(path, fingerprint=FP, metrics=METRICS)
+    document = json.loads(path.read_text())
+    document["schema"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointError, match="schema"):
+        load_checkpoint(path, fingerprint=FP)
+
+
+def test_fingerprint_mismatch_raises(tmp_path):
+    path = tmp_path / "cp.json"
+    save_checkpoint(path, fingerprint=FP, metrics=METRICS)
+    other = dict(FP, scale=0.5)
+    with pytest.raises(CheckpointError, match="incompatible"):
+        load_checkpoint(path, fingerprint=other)
+
+
+def test_malformed_entry_raises(tmp_path):
+    path = tmp_path / "cp.json"
+    document = {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": FP,
+        "entries": [{"key": ["too", "short"], "metrics": {}}],
+    }
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointError, match="malformed"):
+        load_checkpoint(path, fingerprint=FP)
+
+
+def test_context_treats_missing_checkpoint_as_clean_start(tmp_path):
+    ctx = ExperimentContext(
+        scale=0.125, frames=1, workloads=("wolf-640x480",),
+        checkpoint_path=tmp_path / "absent.json",
+    )
+    assert ctx.load_checkpoint() == 0
+
+
+def test_context_without_path_saves_nothing(tmp_path):
+    ctx = ExperimentContext(
+        scale=0.125, frames=1, workloads=("wolf-640x480",)
+    )
+    assert ctx.save_checkpoint() is None

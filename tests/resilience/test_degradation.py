@@ -1,0 +1,105 @@
+"""Graceful degradation: sanitize, fall back to exact AF, stay finite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GpuConfig
+from repro.core.patu import FilterMode, PerceptionAwareTextureUnit
+from repro.core.predictor import TwoStagePredictor
+from repro.core.scenarios import get_scenario
+from repro.renderer.session import RenderSession
+from repro.resilience import FAULTS, FaultPlan
+from repro.resilience.guards import (
+    safe_anisotropy,
+    safe_txds,
+    sanitize_colors,
+)
+
+
+def test_sanitize_colors_clean_path_is_identity():
+    colors = np.ones((4, 4))
+    result = sanitize_colors(colors)
+    assert result.value is colors
+    assert not result.is_degraded
+
+
+def test_sanitize_colors_zeroes_nonfinite_components():
+    colors = np.array([[1.0, np.nan], [np.inf, 2.0]])
+    result = sanitize_colors(colors)
+    assert result.is_degraded
+    assert result.degraded == 2
+    assert result.reason == "nonfinite_color"
+    np.testing.assert_array_equal(result.value, [[1.0, 0.0], [0.0, 2.0]])
+
+
+def test_safe_anisotropy_clamps_and_flags():
+    n = np.array([1, 4, 0, 40, 16], dtype=np.int64)
+    safe, invalid = safe_anisotropy(n)
+    np.testing.assert_array_equal(invalid, [False, False, True, True, False])
+    np.testing.assert_array_equal(safe, [1, 4, 1, 16, 16])
+    assert safe.dtype == n.dtype
+
+
+def test_safe_anisotropy_preserves_valid_float_degrees():
+    n = np.array([np.nan, 2.5, np.inf])
+    safe, invalid = safe_anisotropy(n)
+    np.testing.assert_array_equal(invalid, [True, False, True])
+    assert safe[1] == 2.5
+    assert np.isfinite(safe).all()
+    assert ((safe >= 1) & (safe <= 16)).all()
+
+
+def test_safe_txds_invalid_entries_become_most_conservative():
+    txds = np.array([0.5, np.nan, -1.0, 2.0, 1.0])
+    safe, invalid = safe_txds(txds)
+    np.testing.assert_array_equal(invalid, [False, True, True, True, False])
+    np.testing.assert_array_equal(safe, [0.5, 0.0, 0.0, 0.0, 1.0])
+
+
+def test_predictor_marks_corrupt_state_degraded_never_nan():
+    predictor = TwoStagePredictor(get_scenario("patu"), 0.4)
+    n = np.array([1, 2, 0, 99, 4], dtype=np.int64)
+    txds = np.array([0.9, np.nan, 0.5, 0.5, 5.0])
+    result = predictor.predict(n, txds)
+    np.testing.assert_array_equal(
+        result.degraded, [False, True, True, True, True]
+    )
+    assert result.degraded_count == 4
+    assert not result.approximated[result.degraded].any()
+    assert np.isfinite(result.predicted_n).all()
+    assert np.isfinite(result.predicted_txds).all()
+
+
+def test_degraded_pixel_is_never_approximated_even_when_similar():
+    # Txds 0.99 would normally approximate at threshold 0.4; the
+    # invalid count tag must veto it (fallback to exact AF).
+    predictor = TwoStagePredictor(get_scenario("patu"), 0.4)
+    n = np.array([0], dtype=np.int64)
+    txds = np.array([0.99])
+    result = predictor.predict(n, txds)
+    assert result.degraded.all()
+    assert not result.approximated.any()
+
+
+def test_patu_routes_degraded_pixels_to_exact_af():
+    device = PerceptionAwareTextureUnit(get_scenario("patu"), 0.4)
+    n = np.array([8, 0, 8, 33], dtype=np.int64)
+    txds = np.array([0.2, 0.2, np.inf, 0.2])
+    decision = device.decide(n, txds)
+    degraded = decision.prediction.degraded
+    np.testing.assert_array_equal(degraded, [False, True, True, True])
+    assert (decision.mode[degraded] == FilterMode.AF).all()
+    assert decision.to_dict()["degraded_pixels"] == 3
+
+
+def test_faulted_frame_still_produces_finite_metrics(mini_workload):
+    session = RenderSession(GpuConfig(), scale=1.0, scale_caches=False)
+    FAULTS.configure(FaultPlan.uniform(0.01, seed=5))
+    capture = session.capture_frame(mini_workload, 0)
+    result = session.evaluate(capture, get_scenario("patu"), 0.4)
+    assert FAULTS.total_injected > 0
+    assert np.isfinite(result.mssim)
+    assert 0.0 <= result.mssim <= 1.0
+    assert np.isfinite(result.approximation_rate)
+    assert result.degraded_pixels > 0

@@ -1,0 +1,77 @@
+"""Atomic artifact writes: replace semantics and bounded retry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_bytes, atomic_write_text
+
+
+def test_writes_and_returns_path(tmp_path):
+    path = tmp_path / "artifact.txt"
+    returned = atomic_write_text(path, "hello")
+    assert returned == path
+    assert path.read_text() == "hello"
+
+
+def test_overwrites_existing_file(tmp_path):
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+
+
+def test_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "x" * 4096)
+    assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+
+def test_bytes_variant(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"\x00\xff")
+    assert path.read_bytes() == b"\x00\xff"
+
+
+def test_retries_transient_oserror(tmp_path, monkeypatch):
+    calls = {"n": 0}
+    real_replace = os.replace
+
+    def flaky(src, dst):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError("transient")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", flaky)
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "hello", backoff_s=0.0)
+    assert calls["n"] == 2
+    assert path.read_text() == "hello"
+
+
+def test_raises_after_exhausted_retries(tmp_path, monkeypatch):
+    def always_fails(src, dst):
+        raise OSError("persistent")
+
+    monkeypatch.setattr(os, "replace", always_fails)
+    path = tmp_path / "artifact.txt"
+    with pytest.raises(OSError, match="persistent"):
+        atomic_write_text(path, "hello", retries=2, backoff_s=0.0)
+    # nothing written, temp files cleaned up
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_old_content_survives_failed_replace(tmp_path, monkeypatch):
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "old")
+
+    def always_fails(src, dst):
+        raise OSError("persistent")
+
+    monkeypatch.setattr(os, "replace", always_fails)
+    with pytest.raises(OSError):
+        atomic_write_text(path, "new", retries=2, backoff_s=0.0)
+    assert path.read_text() == "old"
