@@ -1,0 +1,105 @@
+"""Micro-benchmark: experiment-engine scaling across worker counts.
+
+Runs the Fig. 17 threshold sweep on one workload at 1, 2 and 4 worker
+processes (each leg on a cold capture store, so every leg pays the
+same render + evaluate work) and writes wall-clock numbers to
+``bench_results/engine_scaling.json``. The serial table is the
+reference; every parallel leg must reproduce it byte-for-byte, so the
+benchmark doubles as a determinism check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_scaling.py [--scale 0.1]
+
+Speedups depend on the machine: with fewer cores than workers the
+process backend's pool overhead dominates and ratios sit near (or
+below) 1.0 — the point of the artifact is to make that measurable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.experiments import fig17_threshold
+from repro.experiments.runner import ExperimentContext, format_table
+from repro.ioutil import atomic_write_text
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "bench_results" / "engine_scaling.json"
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _time_leg(jobs: int, args) -> "tuple[float, str, dict]":
+    with tempfile.TemporaryDirectory(prefix="repro-bench-captures-") as root:
+        ctx = ExperimentContext(
+            scale=args.scale, frames=args.frames,
+            workloads=(args.workload,), jobs=jobs, capture_cache=root,
+        )
+        start = time.perf_counter()
+        result = fig17_threshold.run(ctx)
+        elapsed = time.perf_counter() - start
+        report = ctx.engine.report
+        counts = {
+            "planned": report.planned,
+            "executed": report.executed,
+            "skipped": report.skipped,
+            "failed": report.failed,
+        }
+    return elapsed, format_table(result), counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="doom3-1280x1024")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--frames", type=int, default=1)
+    parser.add_argument("--out", default=str(RESULTS_PATH))
+    args = parser.parse_args(argv)
+
+    legs = []
+    serial_seconds = None
+    serial_table = None
+    for jobs in WORKER_COUNTS:
+        elapsed, table, counts = _time_leg(jobs, args)
+        if serial_table is None:
+            serial_seconds, serial_table = elapsed, table
+        elif table != serial_table:
+            raise SystemExit(
+                f"--jobs {jobs} table differs from serial output"
+            )
+        legs.append(
+            {
+                "jobs": jobs,
+                "seconds": round(elapsed, 3),
+                "speedup_vs_serial": round(serial_seconds / elapsed, 3),
+                **counts,
+            }
+        )
+        print(f"jobs={jobs}: {elapsed:.2f}s "
+              f"({serial_seconds / elapsed:.2f}x vs serial)")
+
+    payload = {
+        "benchmark": "engine_scaling",
+        "experiment": "fig17",
+        "workload": args.workload,
+        "scale": args.scale,
+        "frames": args.frames,
+        "tables_identical_across_jobs": True,
+        "legs": legs,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

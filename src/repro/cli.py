@@ -19,6 +19,13 @@ Subcommands:
 ``--verbose`` for per-stage progress on stderr. Result tables go to
 stdout; informational messages go to stderr, so stdout stays pipeable.
 
+Engine (see ``docs/architecture.md``): ``experiment``/``report`` accept
+``--jobs N`` to execute the planned job graph on N worker processes
+(tables are byte-identical to serial) and ``--capture-cache DIR`` to
+keep rendered frames in a persistent content-addressed store shared
+with ``profile`` — a warm store skips every render. Store traffic is
+reported on stderr.
+
 Resilience (see ``docs/resilience.md``): ``experiment``/``report``
 accept ``--checkpoint PATH`` to persist evaluated design points and
 ``--resume`` to continue an interrupted sweep (SIGINT flushes the
@@ -57,6 +64,23 @@ def _info(message: str) -> None:
 def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.25,
                         help="render-resolution scale factor (default 0.25)")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for planned experiment "
+                             "jobs (default 1 = serial, same output)")
+    parser.add_argument("--capture-cache", metavar="DIR", default=None,
+                        dest="capture_cache",
+                        help="persistent capture store directory; "
+                             "rendered frames are reused across runs")
+
+
+def _engine_end(ctx: ExperimentContext) -> None:
+    """Report capture-store traffic for the finished run."""
+    stats = ctx.capture_store_stats()
+    if stats is not None:
+        _info(f"capture store: {stats}")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -220,6 +244,7 @@ def _cmd_experiment(args) -> int:
     ctx = ExperimentContext(
         scale=args.scale, frames=args.frames, workloads=workloads,
         checkpoint_path=_checkpoint_path(args),
+        jobs=args.jobs, capture_cache=args.capture_cache,
     )
     _resume_begin(args, ctx)
     try:
@@ -233,6 +258,7 @@ def _cmd_experiment(args) -> int:
             _info("interrupted (no --checkpoint path; nothing persisted)")
         return 130
     print(format_table(result))
+    _engine_end(ctx)
     if result.failures:
         _info(f"{len(result.failures)} isolated failure(s); "
               "see table footer for details")
@@ -322,6 +348,7 @@ def _cmd_report(args) -> int:
     ctx = ExperimentContext(
         scale=args.scale, frames=args.frames, workloads=workloads,
         checkpoint_path=_checkpoint_path(args),
+        jobs=args.jobs, capture_cache=args.capture_cache,
     )
     _resume_begin(args, ctx)
     ids = tuple(args.experiments) if args.experiments else None
@@ -333,6 +360,7 @@ def _cmd_report(args) -> int:
             _info(f"interrupted; checkpoint flushed to {saved} "
                   "(rerun with --resume to continue)")
         return 130
+    _engine_end(ctx)
     text = build_report(results)
     out = pathlib.Path(args.out)
     atomic_write_text(out, text)
@@ -362,19 +390,37 @@ def _cmd_compare(args) -> int:
 
 def _cmd_profile(args) -> int:
     """Render N frames with telemetry on; table to stdout, files to disk."""
+    from .engine import CaptureStore
+    from .engine.jobs import DEFAULT_VARIANT
+    from .engine.worker import capture_spec_for
+
     workload = _resolve_workload(args.workload)
     scenario = get_scenario(args.scenario)
     session = RenderSession(scale=args.scale)
+    store = CaptureStore(args.capture_cache) if args.capture_cache else None
     with TELEMETRY.span(
         "profile", workload=workload.name, frames=args.frames
     ):
         for frame in range(args.frames):
-            capture = session.capture_frame(workload, frame)
+            capture = None
+            if store is not None:
+                spec = capture_spec_for(
+                    workload.name, frame,
+                    base_config=session.config, scale=args.scale,
+                    variant=DEFAULT_VARIANT,
+                )
+                capture = store.get(spec)
+            if capture is None:
+                capture = session.capture_frame(workload, frame)
+                if store is not None:
+                    store.put(spec, capture)
             session.evaluate(capture, scenario, args.threshold)
     print(f"== profile: {workload.name} x{args.frames} frame(s), "
           f"scenario {scenario.name} @ {args.threshold:g}, "
           f"scale {args.scale:g} ==\n")
     print(TELEMETRY.format_summary())
+    if store is not None:
+        _info(f"capture store: {store.stats}")
     return 0
 
 
@@ -398,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-frame metrics JSONL here "
                             "(alias of --metrics)")
     _add_session_args(p_exp)
+    _add_engine_args(p_exp)
     _add_obs_args(p_exp)
     _add_checkpoint_args(p_exp)
     _add_fault_args(p_exp)
@@ -426,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--workloads", nargs="*", default=None)
     p_rep.add_argument("--out", default="report.md")
     _add_session_args(p_rep)
+    _add_engine_args(p_rep)
     _add_obs_args(p_rep)
     _add_checkpoint_args(p_rep)
     _add_fault_args(p_rep)
@@ -439,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--scenario", default="patu", choices=sorted(SCENARIOS))
     p_prof.add_argument("--threshold", type=float, default=0.4)
     _add_session_args(p_prof)
+    p_prof.add_argument("--capture-cache", metavar="DIR", default=None,
+                        dest="capture_cache",
+                        help="reuse rendered frames from this capture "
+                             "store directory (shared with experiments)")
     p_prof.add_argument("--trace", metavar="PATH", default="trace.json",
                         help="Chrome/Perfetto trace output (default trace.json)")
     p_prof.add_argument("--metrics", metavar="PATH", default="metrics.jsonl",

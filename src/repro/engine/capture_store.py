@@ -1,0 +1,139 @@
+"""Content-addressed on-disk store of :class:`FrameCapture` payloads.
+
+Rendering a frame is the expensive half of every experiment; the
+evaluation half replays design points over the captured per-pixel
+state. The store makes the expensive half *per machine* instead of per
+process: every capture is written once under a key derived from
+everything that can change its contents, and any later process — a
+resumed sweep, a pool worker, ``repro profile`` — loads it back
+instead of re-rendering.
+
+Layout: one ``.npz`` file per capture directly under the store root,
+named ``{workload}-f{frame}-{digest}.npz``. The digest is the first 16
+hex chars of the SHA-256 of the capture *spec* — a JSON object listing
+the workload request name, frame index, render scale, tile size,
+effective anisotropy cap, compression flag, and two version tags
+(:data:`repro.renderer.serialization.FORMAT_VERSION` for the payload
+layout, :data:`STORE_VERSION` for capture-affecting code). Bump
+``STORE_VERSION`` whenever rendering output changes; old entries then
+simply miss and are re-rendered, no manual invalidation needed.
+
+Writes go through :func:`repro.ioutil.atomic_write_bytes`, so a store
+shared by concurrent workers never exposes a torn file: each worker
+that misses renders and publishes independently, and the final
+``os.replace`` makes one of the identical payloads win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+
+from ..errors import PipelineError
+from ..ioutil import atomic_write_bytes
+from ..obs import TELEMETRY
+from ..renderer.serialization import (
+    FORMAT_VERSION,
+    capture_from_npz_bytes,
+    capture_to_npz_bytes,
+)
+from ..renderer.session import FrameCapture
+
+#: Bump when renderer changes make previously stored captures stale.
+STORE_VERSION = 1
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def capture_spec(
+    workload: str,
+    frame: int,
+    *,
+    scale: float,
+    tile_size: int,
+    max_anisotropy: int,
+    compressed: bool,
+) -> "dict[str, object]":
+    """Everything that determines a capture's contents, as plain JSON.
+
+    ``workload`` is the *request* name (``"R.Bench-4K"``,
+    ``"VR@2:doom3-1280x1024"``, …), not a resolved object — the name
+    fully determines the generated scene, so hashing it keeps the key
+    computable without building the workload.
+    """
+    return {
+        "store_version": STORE_VERSION,
+        "format_version": FORMAT_VERSION,
+        "workload": workload,
+        "frame": frame,
+        "scale": scale,
+        "tile_size": tile_size,
+        "max_anisotropy": max_anisotropy,
+        "compressed": compressed,
+    }
+
+
+def spec_digest(spec: "dict[str, object]") -> str:
+    """Stable 16-hex-char digest of a capture spec."""
+    encoded = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.writes} write(s)"
+        )
+
+
+class CaptureStore:
+    """A directory of content-addressed captures (see module doc)."""
+
+    def __init__(self, root: "str | pathlib.Path") -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def path_for(self, spec: "dict[str, object]") -> pathlib.Path:
+        name = _SAFE.sub("_", str(spec["workload"]))
+        return self.root / f"{name}-f{spec['frame']}-{spec_digest(spec)}.npz"
+
+    def get(self, spec: "dict[str, object]") -> "FrameCapture | None":
+        """Load the capture for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        if not path.exists():
+            self.stats.misses += 1
+            TELEMETRY.count("capture_store.misses")
+            return None
+        try:
+            capture = capture_from_npz_bytes(path.read_bytes())
+        except (OSError, ValueError, KeyError, PipelineError) as exc:
+            # A stale or truncated entry is a miss, not a failure: the
+            # caller re-renders and put() replaces the bad file.
+            TELEMETRY.progress(f"capture store: dropping bad entry {path.name}: {exc}")
+            self.stats.misses += 1
+            TELEMETRY.count("capture_store.misses")
+            return None
+        self.stats.hits += 1
+        TELEMETRY.count("capture_store.hits")
+        return capture
+
+    def put(self, spec: "dict[str, object]", capture: FrameCapture) -> pathlib.Path:
+        """Atomically publish ``capture`` under its content key."""
+        path = self.path_for(spec)
+        atomic_write_bytes(path, capture_to_npz_bytes(capture))
+        self.stats.writes += 1
+        TELEMETRY.count("capture_store.writes")
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))

@@ -1,0 +1,187 @@
+"""Executing a planned job graph: serial and process backends.
+
+The :class:`Engine` is the execution strategy of an
+:class:`~repro.experiments.runner.ExperimentContext`; the context owns
+the state (caches, failure records, checkpoint), the engine decides
+*how* pending jobs turn into completed design points:
+
+* **serial** (``jobs=1``) — each job runs in-process through exactly
+  the code paths the lazy accessors use, so serial engine runs are
+  byte-identical to the pre-engine imperative loops;
+* **process** (``jobs>1``) — a ``concurrent.futures``
+  ProcessPoolExecutor, initialized once per worker with a
+  :class:`~repro.engine.worker.WorkerSpec`. Captures are rendered in a
+  first wave (one job per distinct frame, so N eval jobs on a frame
+  don't race N renders of it), then evaluations stream through the
+  pool. **Results are merged in planned-job order, not completion
+  order**, which makes ``--jobs N`` output deterministic and equal to
+  serial output.
+
+Failures never abort a run and never raise here: a failed job is
+parked in the context's negative cache as a
+:class:`~repro.errors.JobError` and replayed when aggregation touches
+that design point, inside the module's normal isolation scope — so
+failure *reporting* (FailureRecord footers, their ordering) is also
+identical between backends and between engine and pre-engine code.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+
+from ..errors import JobError
+from ..obs import TELEMETRY
+from ..resilience.faults import FAULTS
+from .jobs import KIND_CAPTURE, EvalJob, capture_job, dedupe_jobs
+from .worker import WorkerSpec, init_worker, run_job
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`Engine.execute` call actually did."""
+
+    planned: int = 0
+    executed: int = 0
+    skipped: int = 0  # already satisfied by a cache or checkpoint
+    failed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.planned} job(s) planned: {self.executed} executed, "
+            f"{self.skipped} cached, {self.failed} failed"
+        )
+
+
+class Engine:
+    """Runs deduplicated job graphs for one experiment context."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.report = ExecutionReport()
+
+    # -- entry point ----------------------------------------------------
+
+    def execute(self, jobs: "list[EvalJob]") -> ExecutionReport:
+        ctx = self.ctx
+        jobs = dedupe_jobs(jobs)
+        pending = [job for job in jobs if not ctx.job_satisfied(job)]
+        report = ExecutionReport(
+            planned=len(jobs), skipped=len(jobs) - len(pending)
+        )
+        if pending:
+            with TELEMETRY.span(
+                "engine.execute", jobs=len(pending), backend=self.backend_name
+            ):
+                if ctx.jobs > 1:
+                    self._execute_process(pending, report)
+                else:
+                    self._execute_serial(pending, report)
+        self.report.planned += report.planned
+        self.report.executed += report.executed
+        self.report.skipped += report.skipped
+        self.report.failed += report.failed
+        TELEMETRY.progress(f"engine: {report}")
+        return report
+
+    @property
+    def backend_name(self) -> str:
+        return "process" if self.ctx.jobs > 1 else "serial"
+
+    # -- serial backend -------------------------------------------------
+
+    def _execute_serial(self, pending, report: ExecutionReport) -> None:
+        ctx = self.ctx
+        for job in pending:
+            try:
+                if job.kind == KIND_CAPTURE:
+                    ctx.capture(
+                        job.workload, job.frame,
+                        variant=job.config_key.variant(),
+                    )
+                else:
+                    ctx.frame_metrics(
+                        job.workload, job.frame, job.scenario, job.threshold,
+                        config=job.config_key,
+                    )
+                report.executed += 1
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — parked for aggregation
+                self._park_failure(job, type(exc).__name__, str(exc), report)
+
+    # -- process backend ------------------------------------------------
+
+    def _execute_process(self, pending, report: ExecutionReport) -> None:
+        ctx = self.ctx
+        store = ctx.ensure_store()
+        spec = WorkerSpec(
+            base_config=ctx.base_config,
+            scale=ctx.scale,
+            store_root=str(store.root),
+            telemetry_enabled=TELEMETRY.enabled,
+            fault_plan=FAULTS.plan if FAULTS.enabled else None,
+        )
+        # Wave 1: one render per distinct (workload, frame, variant) any
+        # pending job needs and the store doesn't have yet. Without it,
+        # every eval job of a threshold sweep would race to render the
+        # same frame in its own worker.
+        captures: "list[EvalJob]" = []
+        seen_specs: "set[str]" = set()
+        for job in pending:
+            wl, frame, variant = job.capture_key()
+            cspec = ctx.capture_spec(wl, frame, variant)
+            name = store.path_for(cspec).name
+            if name in seen_specs:
+                continue
+            seen_specs.add(name)
+            if not store.path_for(cspec).exists() and not ctx.has_capture(
+                wl, frame, variant
+            ):
+                captures.append(capture_job(wl, frame, job.config_key))
+        evals = [job for job in pending if job.kind != KIND_CAPTURE]
+
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=ctx.jobs, initializer=init_worker, initargs=(spec,)
+        )
+        try:
+            for wave in (captures, evals):
+                futures = [(job, executor.submit(run_job, job)) for job in wave]
+                # Submission order *is* planned order; consuming the
+                # futures in this order is the determinism guarantee.
+                for job, future in futures:
+                    self._merge(job, future.result(), report)
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        # Parked captures rendered by the capture wave satisfy the
+        # original capture-kind jobs; aggregation loads them lazily
+        # from the store.
+
+    def _merge(self, job: EvalJob, outcome: tuple, report: ExecutionReport) -> None:
+        ctx = self.ctx
+        status, payload = outcome[0], outcome[1]
+        TELEMETRY.merge_remote(outcome[-3])
+        FAULTS.merge_injected(outcome[-2])
+        store = ctx.capture_store
+        if store is not None:
+            hits, misses, writes = outcome[-1]
+            store.stats.hits += hits
+            store.stats.misses += misses
+            store.stats.writes += writes
+        if status == "ok":
+            report.executed += 1
+            if job.kind != KIND_CAPTURE and payload is not None:
+                TELEMETRY.count("experiment.evaluations")
+                ctx.store_metrics(job.metrics_key(), payload)
+        else:
+            _status, etype, message = outcome[0], outcome[1], outcome[2]
+            self._park_failure(job, etype, message, report)
+
+    # -- shared ---------------------------------------------------------
+
+    def _park_failure(
+        self, job: EvalJob, etype: str, message: str, report: ExecutionReport
+    ) -> None:
+        report.failed += 1
+        TELEMETRY.count("engine.job_failures")
+        self.ctx.park_failure(job, JobError(etype, message))

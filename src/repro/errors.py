@@ -36,6 +36,23 @@ class ExperimentError(ReproError):
     """An experiment was configured or executed incorrectly."""
 
 
+class JobError(ExperimentError):
+    """A planned engine job failed; replayed at aggregation time.
+
+    The engine executes jobs eagerly (possibly in another process) but
+    experiments *observe* failures during aggregation, inside their
+    usual isolation scopes. ``JobError`` carries the original
+    exception's type name across that gap (and across process
+    boundaries, where the original object may not travel), so the
+    :class:`~repro.resilience.FailureRecord` footer reports the real
+    error type no matter where or when the job actually ran.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
 class ResilienceError(ReproError):
     """Base class for fault-handling and degradation failures.
 

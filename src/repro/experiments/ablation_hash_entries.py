@@ -15,7 +15,7 @@ import numpy as np
 
 from ..config import BASELINE_CONFIG
 from ..core.hash_table import BITS_PER_ENTRY
-from ..core.scenarios import get_scenario
+from ..engine.jobs import ConfigKey, EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Hash-table capacity ablation"
@@ -25,10 +25,23 @@ WORKLOADS = ("doom3-1280x1024", "HL2-1600x1200", "grid-1280x1024")
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for entries in ENTRIES:
+        for name in WORKLOADS:
+            jobs.append(eval_job(name, 0, "baseline", 1.0))
+            jobs.append(
+                eval_job(
+                    name, 0, "patu", DEFAULT_THRESHOLD,
+                    config=ConfigKey(hash_entries=entries),
+                )
+            )
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    patu = get_scenario("patu")
-    baseline = get_scenario("baseline")
+    ctx.execute(plan(ctx))
     tables_per_unit = BASELINE_CONFIG.texture_unit.quad_size
     rows = []
     for entries in ENTRIES:
@@ -36,14 +49,14 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
         rates = []
         quality = []
         for name in WORKLOADS:
-            capture = ctx.capture(name, 0)
-            base = ctx.session.evaluate(capture, baseline, 1.0)
-            r = ctx.session.evaluate(
-                capture, patu, DEFAULT_THRESHOLD, hash_entries=entries
+            base = ctx.frame_metrics(name, 0, "baseline", 1.0)
+            r = ctx.frame_metrics(
+                name, 0, "patu", DEFAULT_THRESHOLD,
+                config=ConfigKey(hash_entries=entries),
             )
-            speedups.append(base.frame_cycles / r.frame_cycles)
-            rates.append(r.approximation_rate)
-            quality.append(r.mssim)
+            speedups.append(base["cycles"] / r["cycles"])
+            rates.append(r["approximation_rate"])
+            quality.append(r["mssim"])
         sram_kb = entries * BITS_PER_ENTRY * tables_per_unit / 8 / 1024
         rows.append(
             {

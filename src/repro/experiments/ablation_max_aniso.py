@@ -11,12 +11,8 @@ fewer pixels carry large sample counts.
 
 from __future__ import annotations
 
-import dataclasses
-
-from ..config import BASELINE_CONFIG
-from ..core.scenarios import get_scenario
-from ..renderer.session import RenderSession
-from ..workloads.games import get_workload
+from ..engine.jobs import CaptureVariant, ConfigKey, EvalJob, eval_job
+from ..quality.ssim import mssim as mssim_fn
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Maximum anisotropy ablation"
@@ -26,11 +22,20 @@ WORKLOAD = "doom3-1280x1024"
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for level in LEVELS:
+        config = ConfigKey(max_anisotropy=level)
+        jobs.append(eval_job(WORKLOAD, 0, "baseline", 1.0, config=config))
+        jobs.append(
+            eval_job(WORKLOAD, 0, "patu", DEFAULT_THRESHOLD, config=config)
+        )
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    workload = get_workload(WORKLOAD)
-    patu = get_scenario("patu")
-    baseline = get_scenario("baseline")
+    ctx.execute(plan(ctx))
 
     # The 16x capture from the shared context is the quality reference:
     # lower caps are approximations of the full-quality image.
@@ -38,18 +43,14 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
 
     rows = []
     for level in LEVELS:
-        config = dataclasses.replace(
-            BASELINE_CONFIG,
-            texture_unit=dataclasses.replace(
-                BASELINE_CONFIG.texture_unit, max_anisotropy=level
-            ),
+        config = ConfigKey(max_anisotropy=level)
+        capture = ctx.capture(
+            WORKLOAD, 0, variant=CaptureVariant(max_anisotropy=level)
         )
-        session = RenderSession(config, scale=ctx.scale)
-        capture = session.capture_frame(workload, 0)
-        base = session.evaluate(capture, baseline, 1.0)
-        approx = session.evaluate(capture, patu, DEFAULT_THRESHOLD)
-        from ..quality.ssim import mssim as mssim_fn
-
+        base = ctx.frame_metrics(WORKLOAD, 0, "baseline", 1.0, config=config)
+        approx = ctx.frame_metrics(
+            WORKLOAD, 0, "patu", DEFAULT_THRESHOLD, config=config
+        )
         cap_quality = mssim_fn(
             reference.baseline_luminance, capture.baseline_luminance
         )
@@ -58,9 +59,9 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
                 "max_aniso": level,
                 "mean_n": capture.mean_anisotropy,
                 "baseline_quality_vs_16x": cap_quality,
-                "patu_speedup": base.frame_cycles / approx.frame_cycles,
-                "patu_mssim": approx.mssim,
-                "patu_approx_rate": approx.approximation_rate,
+                "patu_speedup": base["cycles"] / approx["cycles"],
+                "patu_mssim": approx["mssim"],
+                "patu_approx_rate": approx["approximation_rate"],
             }
         )
     notes = (

@@ -10,7 +10,7 @@ the best split point's speedup x MSSIM against the best unified
 
 from __future__ import annotations
 
-from ..core.scenarios import get_scenario
+from ..engine.jobs import ConfigKey, EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Unified vs split thresholds [ablation]"
@@ -19,30 +19,45 @@ WORKLOADS = ("doom3-1280x1024", "nfs-1280x1024")
 GRID = (0.1, 0.2, 0.4, 0.6, 0.8)
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for name in WORKLOADS:
+        jobs.append(eval_job(name, 0, "baseline", 1.0))
+        for t1 in GRID:
+            for t2 in GRID:
+                jobs.append(
+                    eval_job(
+                        name, 0, "patu", t1,
+                        config=ConfigKey(stage2_threshold=t2),
+                    )
+                )
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    patu = get_scenario("patu")
+    ctx.execute(plan(ctx))
     rows = []
     summary = []
     for name in WORKLOADS:
-        capture = ctx.capture(name, 0)
-        base = ctx.session.evaluate(capture, get_scenario("baseline"), 1.0)
+        base = ctx.frame_metrics(name, 0, "baseline", 1.0)
         best_split = (0.0, None, None)
         best_unified = (0.0, None)
         for t1 in GRID:
             for t2 in GRID:
-                r = ctx.session.evaluate(
-                    capture, patu, t1, stage2_threshold=t2
+                r = ctx.frame_metrics(
+                    name, 0, "patu", t1,
+                    config=ConfigKey(stage2_threshold=t2),
                 )
-                speedup = base.frame_cycles / r.frame_cycles
-                metric = speedup * r.mssim
+                speedup = base["cycles"] / r["cycles"]
+                metric = speedup * r["mssim"]
                 rows.append(
                     {
                         "workload": name,
                         "stage1_threshold": t1,
                         "stage2_threshold": t2,
                         "speedup": speedup,
-                        "mssim": r.mssim,
+                        "mssim": r["mssim"],
                         "metric": metric,
                     }
                 )

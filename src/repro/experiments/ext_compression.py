@@ -14,10 +14,8 @@ compressed textures} x {baseline AF, PATU} — and verifies that
 
 from __future__ import annotations
 
-from ..core.scenarios import get_scenario
+from ..engine.jobs import CaptureVariant, ConfigKey, EvalJob, eval_job
 from ..quality.ssim import mssim as mssim_fn
-from ..renderer.session import RenderSession
-from ..workloads.games import get_workload
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "PATU x texture compression orthogonality [extension]"
@@ -25,24 +23,35 @@ TITLE = "PATU x texture compression orthogonality [extension]"
 WORKLOADS = ("doom3-1280x1024", "HL2-1600x1200")
 DEFAULT_THRESHOLD = 0.4
 
+COMPRESSED = ConfigKey(compressed=True)
+
+
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for name in WORKLOADS:
+        for config in (None, COMPRESSED):
+            kwargs = {} if config is None else {"config": config}
+            jobs.append(eval_job(name, 0, "baseline", 1.0, **kwargs))
+            jobs.append(eval_job(name, 0, "patu", DEFAULT_THRESHOLD, **kwargs))
+    return jobs
+
 
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    baseline = get_scenario("baseline")
-    patu = get_scenario("patu")
-    compressed_session = RenderSession(
-        ctx.base_config, scale=ctx.scale, compressed_textures=True
-    )
+    ctx.execute(plan(ctx))
     rows = []
     for name in WORKLOADS:
-        workload = get_workload(name)
         raw_capture = ctx.capture(name, 0)
-        comp_capture = compressed_session.capture_frame(workload, 0)
-        raw_base = ctx.session.evaluate(raw_capture, baseline, 1.0)
-        raw_patu = ctx.session.evaluate(raw_capture, patu, DEFAULT_THRESHOLD)
-        comp_base = compressed_session.evaluate(comp_capture, baseline, 1.0)
-        comp_patu = compressed_session.evaluate(
-            comp_capture, patu, DEFAULT_THRESHOLD
+        comp_capture = ctx.capture(
+            name, 0, variant=CaptureVariant(compressed=True)
+        )
+        raw_base = ctx.frame_metrics(name, 0, "baseline", 1.0)
+        raw_patu = ctx.frame_metrics(name, 0, "patu", DEFAULT_THRESHOLD)
+        comp_base = ctx.frame_metrics(
+            name, 0, "baseline", 1.0, config=COMPRESSED
+        )
+        comp_patu = ctx.frame_metrics(
+            name, 0, "patu", DEFAULT_THRESHOLD, config=COMPRESSED
         )
         # Compression's own quality cost, against the raw AF reference.
         comp_quality = mssim_fn(
@@ -53,16 +62,14 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
                 "workload": name,
                 "compression_mssim": comp_quality,
                 "dram_reduction_compress": 1.0
-                - comp_base.hierarchy.dram_bytes
-                / max(raw_base.hierarchy.dram_bytes, 1),
-                "compress_speedup": raw_base.frame_cycles / comp_base.frame_cycles,
-                "patu_speedup_raw": raw_base.frame_cycles / raw_patu.frame_cycles,
-                "patu_speedup_compressed": comp_base.frame_cycles
-                / comp_patu.frame_cycles,
-                "combined_speedup": raw_base.frame_cycles / comp_patu.frame_cycles,
+                - comp_base["dram_bytes"] / max(raw_base["dram_bytes"], 1),
+                "compress_speedup": raw_base["cycles"] / comp_base["cycles"],
+                "patu_speedup_raw": raw_base["cycles"] / raw_patu["cycles"],
+                "patu_speedup_compressed": comp_base["cycles"]
+                / comp_patu["cycles"],
+                "combined_speedup": raw_base["cycles"] / comp_patu["cycles"],
                 "patu_texel_reduction_compressed": 1.0
-                - comp_patu.events.trilinear_samples
-                / max(comp_base.events.trilinear_samples, 1),
+                - comp_patu["trilinear"] / max(comp_base["trilinear"], 1),
             }
         )
     notes = (

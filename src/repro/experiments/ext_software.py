@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.scenarios import get_scenario
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Hardware vs software approximation granularity (Sec. III) [extension]"
@@ -38,6 +38,16 @@ TITLE = "Hardware vs software approximation granularity (Sec. III) [extension]"
 WORKLOADS = ("HL2-1600x1200", "grid-1280x1024", "doom3-1280x1024")
 THRESHOLDS = tuple(np.round(np.arange(0.0, 1.001, 0.05), 3))
 QUALITY_TARGET = 0.96
+
+
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for name in WORKLOADS:
+        jobs.append(eval_job(name, 0, "baseline", 1.0))
+        for t in THRESHOLDS:
+            jobs.append(eval_job(name, 0, "afssim_n_txds", float(t)))
+            jobs.append(eval_job(name, 0, "software", float(t)))
+    return jobs
 
 
 def _frontier_stats(points: "list[tuple[float, float]]", target: float):
@@ -50,19 +60,18 @@ def _frontier_stats(points: "list[tuple[float, float]]", target: float):
 
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    hardware = get_scenario("afssim_n_txds")
-    baseline = get_scenario("baseline")
+    ctx.execute(plan(ctx))
     rows = []
     for name in WORKLOADS:
         capture = ctx.capture(name, 0)
-        base = ctx.session.evaluate(capture, baseline, 1.0)
+        base = ctx.frame_metrics(name, 0, "baseline", 1.0)
         hw_points = []
         sw_points = []
         for t in THRESHOLDS:
-            hw = ctx.session.evaluate(capture, hardware, float(t))
-            sw = ctx.session.evaluate_software(capture, float(t))
-            hw_points.append((base.frame_cycles / hw.frame_cycles, hw.mssim))
-            sw_points.append((base.frame_cycles / sw.frame_cycles, sw.mssim))
+            hw = ctx.frame_metrics(name, 0, "afssim_n_txds", float(t))
+            sw = ctx.frame_metrics(name, 0, "software", float(t))
+            hw_points.append((base["cycles"] / hw["cycles"], hw["mssim"]))
+            sw_points.append((base["cycles"] / sw["cycles"], sw["mssim"]))
         hw_count, hw_best = _frontier_stats(hw_points, QUALITY_TARGET)
         sw_count, sw_best = _frontier_stats(sw_points, QUALITY_TARGET)
         rows.append(

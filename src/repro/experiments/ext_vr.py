@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.scenarios import get_scenario
-from ..workloads.vr import vr_workload
+from ..engine.jobs import EvalJob, eval_job
+from ..engine.worker import vr_request
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "PATU under stereo (VR) rendering [extension]"
@@ -23,24 +23,39 @@ TIME_STEPS = 2
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for base_name in WORKLOADS:
+        stereo_name = vr_request(base_name, TIME_STEPS)
+        for frame in range(2 * TIME_STEPS):
+            jobs.append(eval_job(stereo_name, frame, "baseline", 1.0))
+            jobs.append(
+                eval_job(stereo_name, frame, "patu", DEFAULT_THRESHOLD)
+            )
+        for frame in range(ctx.frames):
+            jobs.append(eval_job(base_name, frame, "baseline", 1.0))
+            jobs.append(eval_job(base_name, frame, "patu", DEFAULT_THRESHOLD))
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    baseline = get_scenario("baseline")
-    patu = get_scenario("patu")
+    ctx.execute(plan(ctx))
     rows = []
     for base_name in WORKLOADS:
-        stereo = vr_workload(base_name, time_steps=TIME_STEPS)
+        stereo_name = vr_request(base_name, TIME_STEPS)
         per_eye = {0: [], 1: []}
         quality = []
         approx = {0: [], 1: []}
-        for frame in range(stereo.num_frames):
-            capture = ctx.session.capture_frame(stereo, frame)
-            base = ctx.session.evaluate(capture, baseline, 1.0)
-            r = ctx.session.evaluate(capture, patu, DEFAULT_THRESHOLD)
+        for frame in range(2 * TIME_STEPS):
+            base = ctx.frame_metrics(stereo_name, frame, "baseline", 1.0)
+            r = ctx.frame_metrics(
+                stereo_name, frame, "patu", DEFAULT_THRESHOLD
+            )
             eye = frame % 2
-            per_eye[eye].append(base.frame_cycles / r.frame_cycles)
-            approx[eye].append(r.approximation_rate)
-            quality.append(r.mssim)
+            per_eye[eye].append(base["cycles"] / r["cycles"])
+            approx[eye].append(r["approximation_rate"])
+            quality.append(r["mssim"])
         mono = ctx.mean_over_frames(base_name, "patu", DEFAULT_THRESHOLD)
         mono_base = ctx.mean_over_frames(base_name, "baseline", 1.0)
         rows.append(

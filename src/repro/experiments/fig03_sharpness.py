@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, capture_job
 from ..quality.sharpness import sharpness_ratio
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
@@ -21,8 +22,18 @@ TITLE = "AF sharpness gain over trilinear filtering (Fig. 3)"
 OBLIQUE_N = 2
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    """One render per (workload, frame); aggregation is capture-local."""
+    return [
+        capture_job(name, frame)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     for name in ctx.workload_list:
         with ctx.isolate(name):

@@ -10,6 +10,7 @@ fps, not vsync-quantized).
 
 from __future__ import annotations
 
+from ..engine.jobs import EvalJob, eval_job
 from ..replay.vsync import nominal_frame_cycles
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
@@ -19,8 +20,18 @@ RESOLUTIONS = ("2K", "4K")
 NUM_FRAMES = 4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(f"R.Bench-{resolution}", frame, scenario, threshold)
+        for resolution in RESOLUTIONS
+        for frame in range(NUM_FRAMES)
+        for scenario, threshold in (("baseline", 1.0), ("afssim_n", 0.0))
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     improvements = {}
     for resolution in RESOLUTIONS:
@@ -28,10 +39,10 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
         fps_on = []
         fps_off = []
         for frame in range(NUM_FRAMES):
-            on = ctx.result(name, frame, "baseline", 1.0)
-            off = ctx.result(name, frame, "afssim_n", 0.0)
-            f_on = 1e9 / nominal_frame_cycles(on.frame_cycles, ctx.scale)
-            f_off = 1e9 / nominal_frame_cycles(off.frame_cycles, ctx.scale)
+            on = ctx.frame_metrics(name, frame, "baseline", 1.0)
+            off = ctx.frame_metrics(name, frame, "afssim_n", 0.0)
+            f_on = 1e9 / nominal_frame_cycles(on["cycles"], ctx.scale)
+            f_off = 1e9 / nominal_frame_cycles(off["cycles"], ctx.scale)
             fps_on.append(f_on)
             fps_off.append(f_off)
             rows.append(

@@ -9,6 +9,7 @@ is exactly trilinear-only rendering.
 
 from __future__ import annotations
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import (
     DEFAULT_WORKLOADS,
     ExperimentContext,
@@ -19,8 +20,18 @@ from .runner import (
 TITLE = "Speedup and energy reduction with AF disabled (Fig. 5)"
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(name, frame, scenario, threshold)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+        for scenario, threshold in (("baseline", 1.0), ("afssim_n", 0.0))
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     for name in ctx.workload_list:
         with ctx.isolate(name):

@@ -8,6 +8,7 @@ Bars are normalized to each workload's AF-on total.
 
 from __future__ import annotations
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Memory bandwidth breakdown, AF on vs off (Fig. 6)"
@@ -15,8 +16,18 @@ TITLE = "Memory bandwidth breakdown, AF on vs off (Fig. 6)"
 CATEGORIES = ("texture", "color", "depth", "geometry")
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(name, frame, scenario, threshold)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+        for scenario, threshold in (("baseline", 1.0), ("afssim_n", 0.0))
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     tex_fracs = []
     reductions = []

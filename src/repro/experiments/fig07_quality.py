@@ -9,13 +9,23 @@ the direction (disabling AF visibly hurts everywhere) reproduce.
 
 from __future__ import annotations
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Perceived quality loss when AF is disabled (Fig. 7)"
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(name, frame, "afssim_n", 0.0)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     for name in ctx.workload_list:
         with ctx.isolate(name):

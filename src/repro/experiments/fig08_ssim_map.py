@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, capture_job
 from ..quality.ssim import ssim_map
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
@@ -25,9 +26,14 @@ WORKLOAD = "HL2-1600x1200"
 HIGH_SIMILARITY = 0.90
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    """One render; the SSIM map is computed from the capture's images."""
+    return [capture_job(WORKLOAD, 0)]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
-    on = ctx.result(WORKLOAD, 0, "baseline", 1.0)
+    ctx.execute(plan(ctx))
     capture = ctx.capture(WORKLOAD, 0)
     af_image = capture.baseline_luminance
     tf_image = capture.luminance_image(capture.tf_color)

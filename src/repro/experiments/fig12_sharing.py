@@ -12,13 +12,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, capture_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "AF input samples sharing TF texel sets (Fig. 12)"
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    """One render per (workload, frame); the statistic reads the capture."""
+    return [
+        capture_job(name, frame)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     for name in ctx.workload_list:
         with ctx.isolate(name):

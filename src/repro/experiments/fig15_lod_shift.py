@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.patu import PerceptionAwareTextureUnit
 from ..core.scenarios import get_scenario
+from ..engine.jobs import EvalJob, capture_job
 from ..quality.sharpness import sharpness_ratio
 from ..quality.ssim import mssim as mssim_fn
 from .runner import ExperimentContext, ExperimentResult, get_default_context
@@ -33,8 +34,18 @@ TITLE = "LOD shift and LOD-reuse recovery (Fig. 15)"
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    """One render per (workload, frame); decisions replay on the capture."""
+    return [
+        capture_job(name, frame)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     device = PerceptionAwareTextureUnit(get_scenario("patu"), DEFAULT_THRESHOLD)
     rows = []
     for name in ctx.workload_list:

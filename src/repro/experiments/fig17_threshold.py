@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Threshold sweep: performance-quality tradeoff (Fig. 17)"
@@ -25,8 +26,20 @@ TITLE = "Threshold sweep: performance-quality tradeoff (Fig. 17)"
 THRESHOLDS = tuple(round(t, 1) for t in np.arange(0.0, 1.01, 0.1))
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for name in ctx.workload_list:
+        for frame in range(ctx.frames):
+            jobs.append(eval_job(name, frame, "baseline", 1.0))
+            jobs.extend(
+                eval_job(name, frame, "patu", t) for t in THRESHOLDS
+            )
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     best_points = {}
     samples = {t: {"speedup": [], "mssim": []} for t in THRESHOLDS}

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Normalized texture filtering latency (Fig. 18)"
@@ -18,8 +19,21 @@ SCENARIO_ORDER = ("baseline", "afssim_n", "afssim_n_txds", "patu")
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(
+            name, frame, scenario,
+            1.0 if scenario == "baseline" else DEFAULT_THRESHOLD,
+        )
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+        for scenario in SCENARIO_ORDER
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     reductions = {s: [] for s in SCENARIO_ORDER}
     for name in ctx.workload_list:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import ConfigKey, EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "Cache sensitivity: LLC/TC scaling with and without PATU (Fig. 21)"
@@ -30,8 +31,25 @@ CACHE_POINTS = (
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    jobs = []
+    for name in ctx.workload_list:
+        for frame in range(ctx.frames):
+            jobs.append(eval_job(name, frame, "baseline", 1.0))
+            for _label, tc, llc in CACHE_POINTS:
+                config = ConfigKey(llc_scale=llc, tc_scale=tc)
+                jobs.append(
+                    eval_job(name, frame, "baseline", 1.0, config)
+                )
+                jobs.append(
+                    eval_job(name, frame, "patu", DEFAULT_THRESHOLD, config)
+                )
+    return jobs
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     acc: "dict[tuple[str, bool], list[float]]" = {}
     for name in ctx.workload_list:

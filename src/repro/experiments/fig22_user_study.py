@@ -18,6 +18,7 @@ Our replays use the workloads' full frame sequences (the paper used
 
 from __future__ import annotations
 
+from ..engine.jobs import EvalJob, eval_job
 from ..replay.vsync import VsyncSimulator, frame_complexity, nominal_frame_cycles
 from ..study.users import UserStudy
 from .runner import ExperimentContext, ExperimentResult, get_default_context
@@ -34,8 +35,21 @@ THRESHOLDS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 REPLAY_FRAMES = 6
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(
+            name, frame,
+            "patu" if threshold < 1.0 else "baseline", threshold,
+        )
+        for name in WORKLOADS
+        for threshold in THRESHOLDS
+        for frame in range(REPLAY_FRAMES)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     study = UserStudy(num_participants=30, seed=2018)
     vsync = VsyncSimulator()
     rows = []
@@ -47,13 +61,13 @@ def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
             cycles = []
             mssim_sum = 0.0
             for frame in range(REPLAY_FRAMES):
-                r = ctx.result(name, frame, scenario, threshold)
+                m = ctx.frame_metrics(name, frame, scenario, threshold)
                 cycles.append(
                     nominal_frame_cycles(
-                        r.frame_cycles, ctx.scale, frame_complexity(frame)
+                        m["cycles"], ctx.scale, frame_complexity(frame)
                     )
                 )
-                mssim_sum += r.mssim / REPLAY_FRAMES
+                mssim_sum += m["mssim"] / REPLAY_FRAMES
             stats = vsync.replay(cycles)
             scored = study.evaluate(mssim_sum, stats.average_fps, stats.lag_fraction)
             rows.append(

@@ -1,37 +1,77 @@
 """Shared experiment infrastructure: context, caching, aggregation.
 
-An :class:`ExperimentContext` owns one :class:`RenderSession` and
-memoizes frame captures and design-point evaluations, so experiments
-that share workloads (most of them) render each frame exactly once per
-process. Cache-scaling experiments (Fig. 21) evaluate the *same*
-captures under derived GPU configurations — captures carry texel
-addresses, not cache state, so they are configuration-independent.
+An :class:`ExperimentContext` is the experiment-facing façade over the
+:mod:`repro.engine`: modules *plan* typed
+:class:`~repro.engine.jobs.EvalJob` lists, hand them to
+:meth:`ExperimentContext.execute` (which dedupes and runs them on the
+serial or process backend selected by ``jobs=``), then *aggregate* via
+the same memoized accessors (:meth:`capture`, :meth:`result`,
+:meth:`frame_metrics`, :meth:`mean_over_frames`) they always used —
+after execution those accessors are pure cache reads. Because the
+accessors still compute lazily on a miss, plan lists may under-cover
+and everything stays correct, just slower.
+
+Captures are memoized per (workload, frame, variant) in memory and,
+when a capture store is attached (``capture_cache=`` or any parallel
+run), content-addressed on disk — rendering becomes a per-machine
+cost instead of a per-process one.
 
 Sweeps are fault-tolerant (``docs/resilience.md``): per-(workload,
 frame) failures inside :meth:`ExperimentContext.isolate` /
 :meth:`ExperimentContext.mean_over_frames` are caught, recorded as
 structured :class:`~repro.resilience.FailureRecord`\\ s, and the sweep
-continues with the remaining work. When a ``checkpoint_path`` is set,
-evaluated design-point metrics persist to a versioned, atomically
-written checkpoint so an interrupted sweep resumes instead of
-re-rendering.
+continues with the remaining work. A job that fails during *engine*
+execution is parked as a :class:`~repro.errors.JobError` and replayed
+when aggregation touches it, so failure reports are identical across
+backends. When a ``checkpoint_path`` is set, completed job metrics
+persist to a versioned, atomically written checkpoint so an
+interrupted sweep resumes instead of re-rendering.
 """
 
 from __future__ import annotations
 
 import contextlib
 import pathlib
+import tempfile
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
 
 from ..config import BASELINE_CONFIG, GpuConfig
-from ..core.scenarios import get_scenario
-from ..errors import ExperimentError
+from ..engine.capture_store import CaptureStore, StoreStats
+from ..engine.jobs import (
+    DEFAULT_CONFIG,
+    DEFAULT_VARIANT,
+    KIND_CAPTURE,
+    CaptureVariant,
+    ConfigKey,
+    EvalJob,
+)
+from ..engine.scheduler import Engine, ExecutionReport
+from ..engine.worker import (
+    build_session,
+    capture_spec_for,
+    effective_variant,
+    evaluate_job,
+    extract_frame_metrics,
+    resolve_workload,
+    session_cache_key,
+)
+from ..errors import ExperimentError, JobError
 from ..obs import TELEMETRY
 from ..renderer.session import FrameCapture, FrameResult, RenderSession
 from ..resilience import FailureRecord, load_checkpoint, save_checkpoint
-from ..workloads.games import get_workload, workload_names
-from ..workloads.rbench import rbench_workload
 from ..workloads.scene import Workload
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "extract_frame_metrics",
+    "format_table",
+    "get_default_context",
+    "reset_default_context",
+    "run_experiment",
+]
 
 #: Workload list used by the per-game experiments, in Table II order.
 DEFAULT_WORKLOADS = (
@@ -126,12 +166,16 @@ def run_experiment(exp_id: str, module, ctx: "ExperimentContext") -> ExperimentR
 
 
 class ExperimentContext:
-    """A render session plus caches shared across experiments.
+    """A render session plus engine-backed caches shared across experiments.
 
-    With ``checkpoint_path`` set, every design-point metrics dict is
-    persisted (atomically, every ``checkpoint_every`` new evaluations
-    and at each experiment end) and :meth:`load_checkpoint` seeds the
-    cache so resumed sweeps skip checkpointed evaluations entirely.
+    ``jobs`` selects the engine backend (1 = serial in-process, >1 = a
+    process pool of that size); ``capture_cache`` attaches a persistent
+    on-disk capture store (parallel runs without one get a temporary
+    store for the worker handoff). With ``checkpoint_path`` set, every
+    completed job's metrics dict is persisted (atomically, every
+    ``checkpoint_every`` new evaluations and at each experiment end)
+    and :meth:`load_checkpoint` seeds the cache so resumed sweeps skip
+    checkpointed evaluations entirely.
     """
 
     def __init__(
@@ -143,25 +187,115 @@ class ExperimentContext:
         config: GpuConfig = BASELINE_CONFIG,
         checkpoint_path: "str | pathlib.Path | None" = None,
         checkpoint_every: int = 16,
+        jobs: int = 1,
+        capture_cache: "str | pathlib.Path | None" = None,
     ) -> None:
         if frames < 1:
             raise ExperimentError("need at least one frame per workload")
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.scale = scale
         self.frames = frames
         self.workload_list = workloads
         self.base_config = config
+        self.jobs = jobs
         self.session = RenderSession(config, scale=scale)
-        self._captures: "dict[tuple[str, int], FrameCapture]" = {}
-        self._results: "dict" = {}
-        self._alt_sessions: "dict[tuple[int, int], RenderSession]" = {}
-        #: Checkpointable design-point metrics (see docs/resilience.md).
+        self._captures: "dict[tuple[str, int, CaptureVariant], FrameCapture]" = {}
+        self._results: "dict[tuple, FrameResult]" = {}
+        self._alt_sessions: "dict[tuple, RenderSession]" = {}
+        #: Completed job metrics, keyed by EvalJob.metrics_key()
+        #: (checkpointable — see docs/resilience.md).
         self._metrics: "dict[tuple, dict[str, float]]" = {}
+        #: Jobs that failed during engine execution, replayed as
+        #: JobError when aggregation touches the design point.
+        self._failed: "dict[tuple, JobError]" = {}
         self.failures: "list[FailureRecord]" = []
         self.checkpoint_path = (
             pathlib.Path(checkpoint_path) if checkpoint_path else None
         )
         self.checkpoint_every = max(1, checkpoint_every)
         self._dirty_metrics = 0
+        self._store: "CaptureStore | None" = (
+            CaptureStore(capture_cache) if capture_cache else None
+        )
+        self._tmp_store: "tempfile.TemporaryDirectory | None" = None
+        self.engine = Engine(self)
+
+    # -- engine façade --------------------------------------------------
+
+    def execute(self, jobs: "list[EvalJob]") -> ExecutionReport:
+        """Run a planned job list on the configured backend.
+
+        Deduplicates, skips already-satisfied jobs (memory caches,
+        resumed checkpoints, warm capture store), and parks failures
+        for replay at aggregation time.
+        """
+        return self.engine.execute(jobs)
+
+    def job_satisfied(self, job: EvalJob) -> bool:
+        """Would executing ``job`` do any new work?"""
+        if job.kind == KIND_CAPTURE:
+            workload, frame, variant = job.capture_key()
+            if self.has_capture(workload, frame, variant):
+                return True
+            return (
+                self._store is not None
+                and self._store.path_for(
+                    self.capture_spec(workload, frame, variant)
+                ).exists()
+            )
+        key = job.metrics_key()
+        return key in self._metrics or key in self._failed
+
+    def park_failure(self, job: EvalJob, error: JobError) -> None:
+        """Negative-cache one failed job for aggregation-time replay."""
+        self._failed[job.metrics_key()] = error
+
+    def store_metrics(self, key: tuple, metrics: "dict[str, float]") -> None:
+        """Record one completed job's metrics (checkpoint cadence here)."""
+        self._metrics[key] = metrics
+        self._dirty_metrics += 1
+        if (
+            self.checkpoint_path is not None
+            and self._dirty_metrics >= self.checkpoint_every
+        ):
+            self.save_checkpoint()
+
+    def ensure_store(self) -> CaptureStore:
+        """The attached capture store, creating a temporary one if none.
+
+        The process backend always needs a store — it is how rendered
+        captures travel from workers to the parent and between workers.
+        """
+        if self._store is None:
+            self._tmp_store = tempfile.TemporaryDirectory(
+                prefix="repro-captures-"
+            )
+            self._store = CaptureStore(self._tmp_store.name)
+        return self._store
+
+    @property
+    def capture_store(self) -> "CaptureStore | None":
+        return self._store
+
+    def capture_store_stats(self) -> "StoreStats | None":
+        return self._store.stats if self._store is not None else None
+
+    def capture_spec(
+        self, workload_name: str, frame: int, variant: CaptureVariant
+    ) -> "dict[str, object]":
+        """The capture store spec of one frame under this context."""
+        return capture_spec_for(
+            workload_name, frame,
+            base_config=self.base_config, scale=self.scale, variant=variant,
+        )
+
+    def has_capture(
+        self, workload_name: str, frame: int,
+        variant: CaptureVariant = DEFAULT_VARIANT,
+    ) -> bool:
+        variant = effective_variant(self.base_config, variant)
+        return (workload_name, frame, variant) in self._captures
 
     # -- failure isolation ---------------------------------------------
 
@@ -177,7 +311,12 @@ class ExperimentContext:
             workload=workload,
             frame=frame,
             stage=stage,
-            error_type=type(error).__name__,
+            # A JobError is a replayed engine failure; report the
+            # original error's type, not the envelope's.
+            error_type=(
+                error.error_type if isinstance(error, JobError)
+                else type(error).__name__
+            ),
             message=str(error),
         )
         self.failures.append(record)
@@ -247,18 +386,45 @@ class ExperimentContext:
     # -- capture / evaluate with memoization ---------------------------
 
     def workload(self, name: str) -> Workload:
-        if name.startswith("R.Bench"):
-            return rbench_workload(name.split("-", 1)[1])
-        return get_workload(name)
+        return resolve_workload(name)
 
-    def capture(self, workload_name: str, frame: int) -> FrameCapture:
-        key = (workload_name, frame)
-        if key not in self._captures:
-            TELEMETRY.count("experiment.captures")
-            self._captures[key] = self.session.capture_frame(
-                self.workload(workload_name), frame
+    def capture(
+        self,
+        workload_name: str,
+        frame: int,
+        variant: CaptureVariant = DEFAULT_VARIANT,
+    ) -> FrameCapture:
+        """Render (or load) one frame's capture, memoized.
+
+        Lookup order: in-memory cache, then the capture store (if one
+        is attached), then an actual render — which is published back
+        to the store so no other process renders this frame again.
+        """
+        variant = effective_variant(self.base_config, variant)
+        key = (workload_name, frame, variant)
+        cached = self._captures.get(key)
+        if cached is not None:
+            return cached
+        capture = None
+        if self._store is not None:
+            capture = self._store.get(
+                self.capture_spec(workload_name, frame, variant)
             )
-        return self._captures[key]
+        if capture is None:
+            TELEMETRY.count("experiment.captures")
+            session = self._session_for(
+                ConfigKey(
+                    max_anisotropy=variant.max_anisotropy,
+                    compressed=variant.compressed,
+                )
+            )
+            capture = session.capture_frame(self.workload(workload_name), frame)
+            if self._store is not None:
+                self._store.put(
+                    self.capture_spec(workload_name, frame, variant), capture
+                )
+        self._captures[key] = capture
+        return capture
 
     def result(
         self,
@@ -269,28 +435,54 @@ class ExperimentContext:
         *,
         llc_scale: int = 1,
         tc_scale: int = 1,
+        config: "ConfigKey | None" = None,
     ) -> FrameResult:
-        """Evaluate (and cache) one design point on one frame."""
-        key = (workload_name, frame, scenario, round(threshold, 6), llc_scale, tc_scale)
+        """Evaluate (and cache) one design point on one frame.
+
+        ``config`` supersedes the ``llc_scale``/``tc_scale`` shorthand
+        and carries every other evaluation knob (split thresholds,
+        hash-table size, anisotropy cap, compression, software mode).
+        """
+        config = self._config_for(scenario, llc_scale, tc_scale, config)
+        job = EvalJob(workload_name, frame, scenario, threshold,
+                      config_key=config)
+        key = job.metrics_key()
         if key not in self._results:
             TELEMETRY.count("experiment.evaluations")
-            session = self._session_for(llc_scale, tc_scale)
-            self._results[key] = session.evaluate(
-                self.capture(workload_name, frame),
-                get_scenario(scenario),
-                threshold,
+            self._results[key] = evaluate_job(
+                self._session_for(config),
+                self.capture(workload_name, frame, variant=config.variant()),
+                job,
             )
         return self._results[key]
 
-    def _session_for(self, llc_scale: int, tc_scale: int) -> RenderSession:
-        if llc_scale == 1 and tc_scale == 1:
+    def _config_for(
+        self,
+        scenario: str,
+        llc_scale: int,
+        tc_scale: int,
+        config: "ConfigKey | None",
+    ) -> ConfigKey:
+        if config is None:
+            config = ConfigKey(llc_scale=llc_scale, tc_scale=tc_scale)
+        if scenario == "software" and not config.software:
+            config = dataclasses_replace(config, software=True)
+        return config
+
+    def _session_for(self, config: ConfigKey = DEFAULT_CONFIG) -> RenderSession:
+        variant = effective_variant(self.base_config, config.variant())
+        config = dataclasses_replace(
+            config,
+            max_anisotropy=variant.max_anisotropy,
+            compressed=variant.compressed,
+        )
+        key = session_cache_key(config)
+        if key == session_cache_key(DEFAULT_CONFIG):
             return self.session
-        key = (llc_scale, tc_scale)
         if key not in self._alt_sessions:
-            config = self.base_config.scaled(
-                texture_l1=tc_scale, texture_l2=llc_scale
+            self._alt_sessions[key] = build_session(
+                self.base_config, self.scale, config
             )
-            self._alt_sessions[key] = RenderSession(config, scale=self.scale)
         return self._alt_sessions[key]
 
     # -- aggregation ----------------------------------------------------
@@ -304,32 +496,31 @@ class ExperimentContext:
         *,
         llc_scale: int = 1,
         tc_scale: int = 1,
+        config: "ConfigKey | None" = None,
     ) -> "dict[str, float]":
         """Scalar metrics of one design point on one frame, cached.
 
-        This is the checkpointable unit of work: on a cache hit (in
-        memory or resumed from a checkpoint) no rendering, evaluation
-        or ``experiment.evaluations`` counting happens at all.
+        This is the engine's unit of completed work: on a cache hit
+        (executed job, in-memory, or resumed from a checkpoint) no
+        rendering, evaluation or ``experiment.evaluations`` counting
+        happens at all. A design point whose job failed during engine
+        execution replays its :class:`~repro.errors.JobError` here.
         """
-        key = (
-            workload_name, frame, scenario, round(threshold, 6),
-            llc_scale, tc_scale,
-        )
+        config = self._config_for(scenario, llc_scale, tc_scale, config)
+        key = EvalJob(
+            workload_name, frame, scenario, threshold, config_key=config
+        ).metrics_key()
         cached = self._metrics.get(key)
         if cached is not None:
             return cached
+        parked = self._failed.get(key)
+        if parked is not None:
+            raise parked
         r = self.result(
-            workload_name, frame, scenario, threshold,
-            llc_scale=llc_scale, tc_scale=tc_scale,
+            workload_name, frame, scenario, threshold, config=config
         )
         metrics = extract_frame_metrics(r)
-        self._metrics[key] = metrics
-        self._dirty_metrics += 1
-        if (
-            self.checkpoint_path is not None
-            and self._dirty_metrics >= self.checkpoint_every
-        ):
-            self.save_checkpoint()
+        self.store_metrics(key, metrics)
         return metrics
 
     def mean_over_frames(
@@ -340,6 +531,7 @@ class ExperimentContext:
         *,
         llc_scale: int = 1,
         tc_scale: int = 1,
+        config: "ConfigKey | None" = None,
     ) -> "dict[str, float]":
         """Frame-averaged metrics for one (workload, design point).
 
@@ -355,7 +547,7 @@ class ExperimentContext:
             try:
                 metrics = self.frame_metrics(
                     workload_name, frame, scenario, threshold,
-                    llc_scale=llc_scale, tc_scale=tc_scale,
+                    llc_scale=llc_scale, tc_scale=tc_scale, config=config,
                 )
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -371,27 +563,6 @@ class ExperimentContext:
                 f"[{scenario} @ {threshold:g}] failed"
             )
         return {k: v / succeeded for k, v in acc.items()}
-
-
-def extract_frame_metrics(r: FrameResult) -> "dict[str, float]":
-    """The scalar metrics dict persisted per (frame, design point)."""
-    return {
-        "cycles": r.frame_cycles,
-        "mssim": r.mssim,
-        "energy_nj": r.total_energy_nj,
-        "request_latency": r.request_latency,
-        "approximation_rate": r.approximation_rate,
-        "quad_divergence": r.quad_divergence,
-        "dram_bytes": float(r.hierarchy.dram_bytes),
-        "texture_bytes": float(r.bandwidth.texture_bytes),
-        "color_bytes": float(r.bandwidth.color_bytes),
-        "depth_bytes": float(r.bandwidth.depth_bytes),
-        "geometry_bytes": float(r.bandwidth.geometry_bytes),
-        "total_bytes": float(r.bandwidth.total_bytes),
-        "fps": r.fps,
-        "trilinear": float(r.events.trilinear_samples),
-        "degraded_pixels": float(r.degraded_pixels),
-    }
 
 
 _DEFAULT_CONTEXT: "ExperimentContext | None" = None

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.jobs import EvalJob, eval_job
 from .runner import ExperimentContext, ExperimentResult, get_default_context
 
 TITLE = "PATU prediction divergence within quads (Sec. V-C)"
@@ -17,8 +18,17 @@ TITLE = "PATU prediction divergence within quads (Sec. V-C)"
 DEFAULT_THRESHOLD = 0.4
 
 
+def plan(ctx: ExperimentContext) -> "list[EvalJob]":
+    return [
+        eval_job(name, frame, "patu", DEFAULT_THRESHOLD)
+        for name in ctx.workload_list
+        for frame in range(ctx.frames)
+    ]
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     ctx = ctx or get_default_context()
+    ctx.execute(plan(ctx))
     rows = []
     for name in ctx.workload_list:
         with ctx.isolate(name):

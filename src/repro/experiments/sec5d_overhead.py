@@ -18,6 +18,11 @@ from .runner import ExperimentContext, ExperimentResult
 TITLE = "PATU area/storage overhead (Sec. V-D)"
 
 
+def plan(ctx: "ExperimentContext | None" = None) -> list:
+    """Static report — nothing to render or evaluate."""
+    return []
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     model = PatuAreaModel(BASELINE_CONFIG)
     report = model.report()

@@ -8,6 +8,11 @@ from .runner import ExperimentContext, ExperimentResult
 TITLE = "Baseline simulator configuration (Table I)"
 
 
+def plan(ctx: "ExperimentContext | None" = None) -> list:
+    """Static report — nothing to render or evaluate."""
+    return []
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = [
         {"parameter": label, "value": value}

@@ -8,6 +8,11 @@ from .runner import ExperimentContext, ExperimentResult
 TITLE = "3D gaming benchmarks (Table II)"
 
 
+def plan(ctx: "ExperimentContext | None" = None) -> list:
+    """Static report — builds workloads but renders nothing."""
+    return []
+
+
 def run(ctx: "ExperimentContext | None" = None) -> ExperimentResult:
     rows = []
     for abbr, title, resolutions, library in TABLE2_ROWS:

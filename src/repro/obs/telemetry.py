@@ -262,6 +262,44 @@ class Telemetry:
                 agg["min_depth"] = span.depth
         return summary
 
+    # -- cross-process merge (engine process backend) -------------------
+
+    def snapshot_remote(self) -> "dict[str, dict]":
+        """Bundle this process's telemetry for shipping to a parent.
+
+        Pool workers call this after each job; the parent folds the
+        snapshot back in with :meth:`merge_remote`, so ``--jobs N``
+        runs still end with one coherent summary.
+        """
+        return {
+            "stages": self.stage_summary(),
+            "counters": self.metrics.counter_totals(),
+        }
+
+    def merge_remote(self, snapshot: "dict | None") -> None:
+        """Fold a worker's :meth:`snapshot_remote` into this registry.
+
+        Each remote stage becomes one synthetic span carrying the
+        aggregated totals (its true call count rides in ``args``);
+        remote counters add onto local ones.
+        """
+        if not self.enabled or not snapshot:
+            return
+        now_us = (time.perf_counter() - self._epoch) * 1e6
+        for name, agg in snapshot.get("stages", {}).items():
+            self._spans.append(
+                SpanRecord(
+                    name=name,
+                    start_us=now_us,
+                    dur_us=float(agg["total_us"]),
+                    self_us=float(agg["self_us"]),
+                    depth=int(agg.get("min_depth", 0)),
+                    args={"remote_calls": int(agg["count"])},
+                )
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            self.metrics.counter(name).add(value)
+
     def format_summary(self) -> str:
         """Human-readable per-stage time and counter tables."""
         lines = ["== stage timers =="]

@@ -8,6 +8,7 @@ paper's trace-based methodology uses.
 
 from __future__ import annotations
 
+import io
 import pathlib
 
 import numpy as np
@@ -49,9 +50,7 @@ _WORKLOAD_FIELDS = (
 )
 
 
-def save_capture(path, capture: FrameCapture) -> pathlib.Path:
-    """Serialize a capture to a compressed .npz file."""
-    path = pathlib.Path(path)
+def _payload(capture: FrameCapture) -> "dict[str, np.ndarray]":
     payload = {name: getattr(capture, name) for name in _ARRAY_FIELDS}
     payload["meta_version"] = np.asarray([FORMAT_VERSION])
     payload["meta_dims"] = np.asarray(
@@ -62,30 +61,23 @@ def save_capture(path, capture: FrameCapture) -> pathlib.Path:
         [getattr(capture.workload, f) for f in _WORKLOAD_FIELDS]
     )
     payload["meta_name"] = np.asarray([capture.workload_name])
-    np.savez_compressed(path, **payload)
-    # np.savez appends .npz when missing; report the real location.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return payload
 
 
-def load_capture(path) -> FrameCapture:
-    """Load a capture previously written by :func:`save_capture`."""
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise PipelineError(f"no such capture file: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["meta_version"][0])
-        if version != FORMAT_VERSION:
-            raise PipelineError(
-                f"capture format version {version} unsupported "
-                f"(expected {FORMAT_VERSION})"
-            )
-        frame_index, width, height, tile_size = (
-            int(v) for v in data["meta_dims"]
+def _from_archive(data) -> FrameCapture:
+    version = int(data["meta_version"][0])
+    if version != FORMAT_VERSION:
+        raise PipelineError(
+            f"capture format version {version} unsupported "
+            f"(expected {FORMAT_VERSION})"
         )
-        counts = [int(v) for v in data["meta_workload_counts"]]
-        arrays = {name: data[name] for name in _ARRAY_FIELDS}
-        workload_name = str(data["meta_name"][0])
-        clear = float(data["meta_clear"][0])
+    frame_index, width, height, tile_size = (
+        int(v) for v in data["meta_dims"]
+    )
+    counts = [int(v) for v in data["meta_workload_counts"]]
+    arrays = {name: data[name] for name in _ARRAY_FIELDS}
+    workload_name = str(data["meta_name"][0])
+    clear = float(data["meta_clear"][0])
     return FrameCapture(
         workload_name=workload_name,
         frame_index=frame_index,
@@ -96,3 +88,37 @@ def load_capture(path) -> FrameCapture:
         clear_luminance=clear,
         **arrays,
     )
+
+
+def save_capture(path, capture: FrameCapture) -> pathlib.Path:
+    """Serialize a capture to a compressed .npz file."""
+    path = pathlib.Path(path)
+    np.savez_compressed(path, **_payload(capture))
+    # np.savez appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_capture(path) -> FrameCapture:
+    """Load a capture previously written by :func:`save_capture`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PipelineError(f"no such capture file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return _from_archive(data)
+
+
+def capture_to_npz_bytes(capture: FrameCapture) -> bytes:
+    """The .npz archive of a capture as an in-memory byte string.
+
+    Used by the capture store, which needs the whole payload up front
+    so it can go through :func:`repro.ioutil.atomic_write_bytes`.
+    """
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_payload(capture))
+    return buffer.getvalue()
+
+
+def capture_from_npz_bytes(raw: bytes) -> FrameCapture:
+    """Inverse of :func:`capture_to_npz_bytes`."""
+    with np.load(io.BytesIO(raw), allow_pickle=False) as data:
+        return _from_archive(data)

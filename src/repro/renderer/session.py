@@ -231,6 +231,7 @@ class RenderSession:
 
     def capture_frame(self, workload: Workload, frame_index: int) -> FrameCapture:
         """Render one frame and capture all per-pixel filtering state."""
+        TELEMETRY.count("session.capture_frames")
         with TELEMETRY.span(
             "session.capture_frame", workload=workload.name, frame=frame_index
         ):

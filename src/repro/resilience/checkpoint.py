@@ -2,19 +2,24 @@
 
 A checkpoint is a JSON document holding the design-point metrics an
 :class:`~repro.experiments.runner.ExperimentContext` has already
-evaluated, keyed by the same ``(workload, frame, scenario, threshold,
-llc_scale, tc_scale)`` tuple the in-memory cache uses. Interrupted
-sweeps reload it with ``--resume`` and skip every checkpointed
-evaluation instead of re-rendering.
+evaluated — i.e. the engine's job-completion records, keyed by
+:meth:`repro.engine.jobs.EvalJob.metrics_key` (the same tuple the
+in-memory cache uses). Interrupted sweeps reload it with ``--resume``
+and skip every checkpointed evaluation instead of re-rendering.
 
-Format (schema version 1)::
+Format (schema version 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "fingerprint": {"scale": ..., "frames": ..., "config": "..."},
-      "entries": [{"key": [wl, frame, scenario, thr, llc, tc],
+      "entries": [{"key": [wl, frame, scenario, thr, llc, tc,
+                           stage2, hash_entries, max_aniso,
+                           compressed, software],
                    "metrics": {"cycles": ..., "mssim": ..., ...}}, ...]
     }
+
+Schema 1 (six-field keys, pre-engine) is not migrated: loading it
+raises the schema mismatch below and the sweep re-runs cleanly.
 
 Writes are atomic (:mod:`repro.ioutil`); loads validate the schema
 version and the context fingerprint and raise
@@ -31,11 +36,13 @@ from ..errors import CheckpointError
 from ..ioutil import atomic_write_text
 
 #: Bump when the entry layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: The cache-key tuple layout (documentation + validation).
+#: The cache-key tuple layout (documentation + validation); must match
+#: :meth:`repro.engine.jobs.EvalJob.metrics_key`.
 KEY_FIELDS = ("workload", "frame", "scenario", "threshold",
-              "llc_scale", "tc_scale")
+              "llc_scale", "tc_scale", "stage2_threshold",
+              "hash_entries", "max_anisotropy", "compressed", "software")
 
 
 def save_checkpoint(

@@ -115,6 +115,19 @@ class FaultInjector:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def merge_injected(self, injected: "dict[str, int] | None") -> None:
+        """Fold a pool worker's per-site tallies into this process.
+
+        The engine's process backend configures each worker with the
+        parent's :class:`FaultPlan`; workers ship their ``injected``
+        dicts back with every job result so the parent's end-of-run
+        summary covers faults injected anywhere.
+        """
+        if not injected:
+            return
+        for site, count in injected.items():
+            self.injected[site] = self.injected.get(site, 0) + count
+
     # -- deterministic site-local randomness ----------------------------
 
     def _rng(self, site: str) -> np.random.Generator:

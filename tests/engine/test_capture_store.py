@@ -1,0 +1,109 @@
+"""Tests for the content-addressed on-disk capture store."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.capture_store import (
+    CaptureStore,
+    capture_spec,
+    spec_digest,
+)
+
+SPEC_KWARGS = dict(scale=1.0, tile_size=16, max_anisotropy=16, compressed=False)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CaptureStore(tmp_path / "captures")
+
+
+class TestKeying:
+    def test_digest_is_deterministic(self):
+        a = capture_spec("wolf-640x480", 0, **SPEC_KWARGS)
+        b = capture_spec("wolf-640x480", 0, **SPEC_KWARGS)
+        assert spec_digest(a) == spec_digest(b)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"frame": 1},
+            {"scale": 0.5},
+            {"tile_size": 32},
+            {"max_anisotropy": 8},
+            {"compressed": True},
+        ],
+    )
+    def test_digest_sensitive_to_every_axis(self, change):
+        base = dict(workload="wolf-640x480", frame=0, **SPEC_KWARGS)
+        varied = {**base, **change}
+        a = capture_spec(base.pop("workload"), base.pop("frame"), **base)
+        b = capture_spec(varied.pop("workload"), varied.pop("frame"), **varied)
+        assert spec_digest(a) != spec_digest(b)
+
+    def test_digest_stable_across_processes(self, tmp_path):
+        """The store key must not depend on per-process state (hash
+        randomization, dict order): parallel workers and later sessions
+        all have to address the same file."""
+        spec = capture_spec("VR@2:doom3-1280x1024", 3, **SPEC_KWARGS)
+        code = (
+            "from repro.engine.capture_store import capture_spec, spec_digest\n"
+            "spec = capture_spec('VR@2:doom3-1280x1024', 3, scale=1.0,\n"
+            "                    tile_size=16, max_anisotropy=16,\n"
+            "                    compressed=False)\n"
+            "print(spec_digest(spec))\n"
+        )
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == spec_digest(spec)
+
+    def test_path_name_is_filesystem_safe(self, store):
+        spec = capture_spec("VR@2:doom3-1280x1024", 0, **SPEC_KWARGS)
+        name = store.path_for(spec).name
+        assert "@" not in name and ":" not in name
+        assert name.endswith(".npz")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store, capture):
+        spec = capture_spec(capture.workload_name, 0, **SPEC_KWARGS)
+        path = store.put(spec, capture)
+        assert path.exists()
+        loaded = store.get(spec)
+        assert loaded is not None
+        assert loaded.workload_name == capture.workload_name
+        assert np.array_equal(loaded.n, capture.n)
+        assert np.array_equal(loaded.sample_row_ptr, capture.sample_row_ptr)
+        assert np.array_equal(loaded.sample_keys, capture.sample_keys)
+        assert store.stats.writes == 1 and store.stats.hits == 1
+
+    def test_miss_counts(self, store):
+        spec = capture_spec("nothing", 0, **SPEC_KWARGS)
+        assert store.get(spec) is None
+        assert store.stats.misses == 1
+
+    def test_bad_entry_is_a_miss_and_recoverable(self, store, capture):
+        spec = capture_spec(capture.workload_name, 0, **SPEC_KWARGS)
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        assert store.get(spec) is None
+        assert store.stats.misses == 1
+        store.put(spec, capture)
+        assert store.get(spec) is not None
+
+    def test_len_counts_entries(self, store, capture):
+        assert len(store) == 0
+        store.put(capture_spec("a", 0, **SPEC_KWARGS), capture)
+        store.put(capture_spec("b", 0, **SPEC_KWARGS), capture)
+        assert len(store) == 2

@@ -1,0 +1,82 @@
+"""Tests for the shared job-execution helpers (no rendering)."""
+
+import pytest
+
+from repro.config import BASELINE_CONFIG
+from repro.engine.jobs import CaptureVariant, ConfigKey
+from repro.engine.worker import (
+    derive_config,
+    effective_variant,
+    resolve_workload,
+    session_cache_key,
+    vr_request,
+)
+from repro.errors import WorkloadError
+
+
+class TestResolveWorkload:
+    def test_plain_game_name(self):
+        assert resolve_workload("wolf-640x480").name == "wolf-640x480"
+
+    def test_vr_request_round_trip(self):
+        name = vr_request("wolf-640x480", 2)
+        assert name == "VR@2:wolf-640x480"
+        stereo = resolve_workload(name)
+        assert stereo.num_frames == 4  # two eyes per time step
+
+    def test_malformed_vr_requests(self):
+        with pytest.raises(WorkloadError):
+            resolve_workload("VR@2")
+        with pytest.raises(WorkloadError):
+            resolve_workload("VR@x:wolf-640x480")
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            resolve_workload("no-such-game-1x1")
+
+
+class TestDeriveConfig:
+    def test_default_key_is_identity(self):
+        assert derive_config(BASELINE_CONFIG, ConfigKey()) is BASELINE_CONFIG
+
+    def test_anisotropy_cap(self):
+        config = derive_config(
+            BASELINE_CONFIG, ConfigKey(max_anisotropy=4)
+        )
+        assert config.texture_unit.max_anisotropy == 4
+
+    def test_cache_scaling(self):
+        config = derive_config(BASELINE_CONFIG, ConfigKey(llc_scale=2))
+        assert (
+            config.texture_l2.size_bytes
+            == 2 * BASELINE_CONFIG.texture_l2.size_bytes
+        )
+
+
+class TestSessionCacheKey:
+    def test_evaluation_knobs_share_sessions(self):
+        plain = session_cache_key(ConfigKey())
+        tuned = session_cache_key(
+            ConfigKey(stage2_threshold=0.2, hash_entries=4, software=True)
+        )
+        assert plain == tuned
+
+    def test_session_axes_split_sessions(self):
+        plain = session_cache_key(ConfigKey())
+        assert session_cache_key(ConfigKey(compressed=True)) != plain
+        assert session_cache_key(ConfigKey(llc_scale=2)) != plain
+
+
+class TestEffectiveVariant:
+    def test_base_cap_folds_to_none(self):
+        cap = BASELINE_CONFIG.texture_unit.max_anisotropy
+        variant = effective_variant(
+            BASELINE_CONFIG, CaptureVariant(max_anisotropy=cap)
+        )
+        assert variant == CaptureVariant()
+
+    def test_lower_cap_is_preserved(self):
+        variant = effective_variant(
+            BASELINE_CONFIG, CaptureVariant(max_anisotropy=4)
+        )
+        assert variant.max_anisotropy == 4

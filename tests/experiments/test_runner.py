@@ -40,11 +40,12 @@ class TestContext:
         assert a.approximation_rate >= b.approximation_rate
 
     def test_cache_scaled_sessions_are_reused(self, ctx):
+        key = (2, 1, None, False)  # engine session_cache_key layout
         ctx.result("wolf-640x480", 0, "baseline", 1.0, llc_scale=2)
-        assert (2, 1) in ctx._alt_sessions
-        session = ctx._alt_sessions[(2, 1)]
+        assert key in ctx._alt_sessions
+        session = ctx._alt_sessions[key]
         ctx.result("wolf-640x480", 0, "patu", 0.4, llc_scale=2)
-        assert ctx._alt_sessions[(2, 1)] is session
+        assert ctx._alt_sessions[key] is session
 
     def test_larger_llc_never_more_dram_traffic(self, ctx):
         base = ctx.result("wolf-640x480", 0, "baseline", 1.0)

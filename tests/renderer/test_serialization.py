@@ -1,12 +1,17 @@
 """Tests for FrameCapture save/load."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core.scenarios import SCENARIOS
 from repro.errors import PipelineError
 from repro.renderer.serialization import (
+    _ARRAY_FIELDS,
     FORMAT_VERSION,
+    capture_from_npz_bytes,
+    capture_to_npz_bytes,
     load_capture,
     save_capture,
 )
@@ -39,6 +44,61 @@ class TestRoundTrip:
         path = save_capture(tmp_path / "noext", capture)
         assert path.suffix == ".npz"
         assert path.exists()
+
+
+class TestBytesRoundTrip:
+    """The in-memory archive path used by the engine's capture store."""
+
+    def test_every_array_field_survives_exactly(self, capture):
+        loaded = capture_from_npz_bytes(capture_to_npz_bytes(capture))
+        for name in _ARRAY_FIELDS:
+            original = getattr(capture, name)
+            restored = getattr(loaded, name)
+            assert restored.dtype == original.dtype, name
+            assert np.array_equal(restored, original), name
+
+    def test_csr_sample_table_is_consistent(self, capture):
+        loaded = capture_from_npz_bytes(capture_to_npz_bytes(capture))
+        ptr = loaded.sample_row_ptr
+        assert ptr[0] == 0
+        assert ptr[-1] == loaded.sample_keys.shape[0]
+        assert np.all(np.diff(ptr) >= 0)
+        assert np.array_equal(ptr, capture.sample_row_ptr)
+
+    def test_scalar_metadata_survives(self, capture):
+        loaded = capture_from_npz_bytes(capture_to_npz_bytes(capture))
+        assert loaded.frame_index == capture.frame_index
+        assert loaded.tile_size == capture.tile_size
+        assert loaded.clear_luminance == capture.clear_luminance
+        assert loaded.workload == capture.workload
+
+    def test_bad_bytes_raise(self):
+        with pytest.raises((PipelineError, ValueError, OSError)):
+            capture_from_npz_bytes(b"definitely not an npz archive")
+
+
+class TestFrameResultPickle:
+    """FrameResults must survive pickling (process-pool transport)."""
+
+    def test_round_trip_preserves_metrics(self, session, capture):
+        from repro.experiments.runner import extract_frame_metrics
+
+        r = session.evaluate(capture, SCENARIOS["patu"], 0.4)
+        restored = pickle.loads(pickle.dumps(r))
+        assert extract_frame_metrics(restored) == extract_frame_metrics(r)
+        assert restored.degraded_pixels == r.degraded_pixels
+        assert restored.events.trilinear_samples == r.events.trilinear_samples
+
+    def test_degraded_pixel_data_survives(self, session, capture):
+        from repro.resilience import FAULTS, FaultPlan
+
+        FAULTS.configure(FaultPlan.uniform(0.05, seed=7))
+        try:
+            r = session.evaluate(capture, SCENARIOS["patu"], 0.4)
+        finally:
+            FAULTS.disable()
+        restored = pickle.loads(pickle.dumps(r))
+        assert restored.degraded_pixels == r.degraded_pixels
 
 
 class TestValidation:

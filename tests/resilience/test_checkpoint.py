@@ -16,9 +16,14 @@ from repro.resilience.checkpoint import (
 
 FP = {"scale": 0.25, "frames": 2, "config": "GpuConfig(test)"}
 
+# Keys use the schema-2 layout: EvalJob.metrics_key() — (workload,
+# frame, scenario, threshold, llc, tc, stage2, hash_entries,
+# max_aniso, compressed, software).
 METRICS = {
-    ("wolf-640x480", 0, "patu", 0.4, 1, 1): {"mssim": 0.93, "cycles": 1200.0},
-    ("wolf-640x480", 0, "baseline", 1.0, 1, 1): {"mssim": 1.0, "cycles": 1500.0},
+    ("wolf-640x480", 0, "patu", 0.4, 1, 1, None, 16, None, False, False):
+        {"mssim": 0.93, "cycles": 1200.0},
+    ("wolf-640x480", 0, "baseline", 1.0, 1, 1, None, 16, None, False, False):
+        {"mssim": 1.0, "cycles": 1500.0},
 }
 
 
