@@ -13,6 +13,9 @@ Subcommands:
 * ``profile <workload>`` — render N frames with telemetry on, print a
   per-stage time/counter table and write ``trace.json`` (Perfetto /
   ``chrome://tracing``) plus ``metrics.jsonl`` (one record per frame).
+* ``verify`` — run the differential/metamorphic/golden oracle suite
+  (``docs/testing.md``), print the per-oracle table and write a JSON
+  report; ``--update-goldens`` regenerates changed golden artifacts.
 
 ``experiment``/``render``/``compare``/``report`` accept ``--trace`` and
 ``--metrics`` to capture the same artifacts for any run, and
@@ -388,6 +391,61 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    """Run the correctness oracle suite (see ``docs/testing.md``)."""
+    from .verify import default_goldens_root, list_oracles, run_verify
+
+    if args.list_oracles:
+        for name, layer in list_oracles():
+            print(f"{name:<28} {layer}")
+        return 0
+    goldens_root = (
+        pathlib.Path(args.goldens) if args.goldens else default_goldens_root()
+    )
+    report = run_verify(
+        seed=args.seed,
+        quick=args.quick,
+        only=args.only,
+        goldens_root=goldens_root,
+        update_goldens=args.update_goldens,
+    )
+    print(report.format_summary())
+    write_failed = False
+    if args.report:
+        try:
+            path = report.write(args.report)
+            _info(f"wrote JSON report to {path}")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            write_failed = True
+    for failure in report.failures:
+        # A golden oracle may merge several goldens; look one level
+        # into nested per-golden details for their diffs too.
+        diffs = [(failure.name, failure.details.get("diff"))]
+        diffs += [
+            (name, d.get("diff"))
+            for name, d in failure.details.items()
+            if isinstance(d, dict)
+        ]
+        for name, diff in diffs:
+            if diff:
+                _info(f"--- {name} diff ---\n{diff}")
+    if args.update_goldens:
+        changed = []
+        for r in report.layer_results("golden"):
+            if "changed" in r.details:
+                if r.details["changed"]:
+                    changed.append(r.name)
+                continue
+            changed.extend(
+                name for name, d in r.details.items()
+                if isinstance(d, dict) and d.get("changed")
+            )
+        summary = ", ".join(changed) if changed else "none (already up to date)"
+        _info(f"goldens updated: {summary}")
+    return 0 if report.passed and not write_failed else 1
+
+
 def _cmd_profile(args) -> int:
     """Render N frames with telemetry on; table to stdout, files to disk."""
     from .engine import CaptureStore
@@ -478,6 +536,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(p_rep)
     _add_fault_args(p_rep)
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="run the differential/metamorphic/golden oracle suite",
+    )
+    p_ver.add_argument("--quick", action="store_true",
+                       help="smaller captures, skip the process-pool oracle")
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="base seed for the random fragment batches")
+    p_ver.add_argument("--only", metavar="FILTER", default=None,
+                       help="run only oracles whose name or layer "
+                            "contains FILTER")
+    p_ver.add_argument("--report", metavar="PATH",
+                       default="verify_report.json",
+                       help="machine-readable JSON report path "
+                            "(default verify_report.json)")
+    p_ver.add_argument("--goldens", metavar="DIR", default=None,
+                       help="golden store root (default tests/goldens)")
+    p_ver.add_argument("--update-goldens", action="store_true",
+                       dest="update_goldens",
+                       help="regenerate changed goldens instead of checking")
+    p_ver.add_argument("--list", action="store_true", dest="list_oracles",
+                       help="list registered oracles and exit")
+    _add_obs_args(p_ver)
+
     p_prof = sub.add_parser(
         "profile", help="render frames with telemetry, export trace + metrics"
     )
@@ -511,6 +593,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "report": _cmd_report,
         "profile": _cmd_profile,
+        "verify": _cmd_verify,
     }
     _obs_begin(args)
     _faults_begin(args)
@@ -520,6 +603,14 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         rc = 1
+    except BrokenPipeError:
+        # stdout's consumer went away (e.g. `repro list | head`);
+        # standard Unix behavior is a quiet exit. Point stdout at
+        # /dev/null so interpreter shutdown doesn't re-raise on flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        rc = 0
     finally:
         _faults_end(args)
         if not _obs_end(args):

@@ -162,7 +162,22 @@ def run_experiment(exp_id: str, module, ctx: "ExperimentContext") -> ExperimentR
         f"experiment {exp_id}: {len(result.rows)} rows, "
         f"{len(result.failures)} isolated failure(s)"
     )
+    _probe_golden(exp_id, ctx, result)
     return result
+
+
+def _probe_golden(exp_id: str, ctx: "ExperimentContext", result) -> None:
+    """Warn (via telemetry) when a run diverges from its pinned golden.
+
+    Best-effort by design: staleness detection must never fail or slow
+    an experiment, so any error in the probe is swallowed.
+    """
+    try:
+        from ..verify.goldens import check_experiment_golden
+
+        check_experiment_golden(exp_id, ctx, format_table(result))
+    except Exception:  # noqa: BLE001 — advisory path only
+        pass
 
 
 class ExperimentContext:

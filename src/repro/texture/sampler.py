@@ -154,6 +154,23 @@ def trilinear_footprint_keys(chain: MipChain, u, v, lod) -> np.ndarray:
     return footprint_keys_from_info(trilinear_info(chain, u, v, lod))
 
 
+def unpack_footprint_key(key):
+    """Invert :func:`footprint_keys_from_info` field by field.
+
+    Returns ``(l0, iu0, iv0, iu1, iv1)`` with the coordinates still in
+    their wrapped ``_COORD_BITS``-bit form (the pack is lossy beyond
+    that — wrap-around aliasing is exactly what the key-collision
+    property tests probe). Accepts scalars or arrays.
+    """
+    key = np.asarray(key, dtype=np.int64)
+    fields = []
+    for _ in range(4):
+        fields.append(key & _COORD_MASK)
+        key = key >> _COORD_BITS
+    iv1, iu1, iv0, iu0 = fields
+    return key, iu0, iv0, iu1, iv1
+
+
 def texel_coords_from_info(info: TrilinearInfo):
     """Expand gather info to the 8 texel coordinates per sample.
 

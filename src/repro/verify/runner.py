@@ -1,0 +1,208 @@
+"""The verify runner: executes the three oracle layers and aggregates.
+
+``run_verify`` is what ``python -m repro verify`` calls: it resets the
+fault injector (oracle verdicts must be hermetic — a leftover fault
+plan from an earlier run in the same process would turn verification
+into noise), runs every registered oracle under a telemetry span, and
+returns a :class:`~repro.verify.report.VerifyReport` ready for
+``format_summary()`` / ``write()``.
+
+The golden layer lives here (rather than its own module) because its
+oracles are thin: regenerate an artifact with the production pipeline,
+then delegate to :class:`~repro.verify.goldens.GoldenStore`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs import TELEMETRY
+from ..resilience import FAULTS
+from .differential import DIFFERENTIAL_ORACLES
+from .goldens import (
+    GOLDEN_EXPERIMENTS,
+    GoldenStore,
+    default_goldens_root,
+    frame_digest_text,
+)
+from .metamorphic import METAMORPHIC_ORACLES, VERIFY_WORKLOAD, _session_capture
+from .report import (
+    LAYER_GOLDEN,
+    OracleResult,
+    VerifyConfig,
+    VerifyReport,
+)
+
+__all__ = ["list_oracles", "run_verify"]
+
+#: Scale the frame-digest golden is pinned at (shared with the quick
+#: metamorphic capture so a verify run renders it once).
+GOLDEN_FRAME_SCALE = 0.125
+
+#: Cap on the unified diff embedded in a stale golden's details.
+_DIFF_LIMIT = 4000
+
+
+def _golden_store(cfg: VerifyConfig) -> GoldenStore:
+    return GoldenStore(cfg.goldens_root or default_goldens_root())
+
+
+def _golden_result(
+    cfg: VerifyConfig,
+    name: str,
+    kind: str,
+    text: str,
+    params: "dict[str, object]",
+) -> OracleResult:
+    """Check-or-update one golden and wrap the outcome as an oracle."""
+    store = _golden_store(cfg)
+    if cfg.update_goldens:
+        changed = store.update(name, text, kind, params)
+        return OracleResult(
+            name=f"golden_{name}",
+            layer=LAYER_GOLDEN,
+            passed=True,
+            fragments=text.count("\n"),
+            details={"mode": "update", "changed": changed},
+        )
+    check = store.check(name, text, params)
+    if check.status == "missing":
+        return OracleResult(
+            name=f"golden_{name}",
+            layer=LAYER_GOLDEN,
+            passed=True,
+            skipped=True,
+            details={
+                "status": check.status,
+                "hint": "golden not generated yet; "
+                "run `python -m repro verify --update-goldens`",
+            },
+        )
+    details: "dict[str, object]" = {"status": check.status, **check.details}
+    if check.diff:
+        details["diff"] = check.diff[:_DIFF_LIMIT]
+    return OracleResult(
+        name=f"golden_{name}",
+        layer=LAYER_GOLDEN,
+        passed=check.ok,
+        max_error=0.0 if check.ok else 1.0,
+        fragments=text.count("\n"),
+        details=details,
+    )
+
+
+def oracle_golden_tables(cfg: VerifyConfig) -> OracleResult:
+    """Experiment tables at pinned quick parameters, byte-exact."""
+    from ..experiments import REGISTRY
+    from ..experiments.runner import ExperimentContext, format_table
+
+    results = []
+    for exp_id, params in sorted(GOLDEN_EXPERIMENTS.items()):
+        module = REGISTRY[exp_id]
+        ctx = ExperimentContext(
+            scale=float(params["scale"]),
+            frames=int(params["frames"]),
+            workloads=tuple(params["workloads"]),
+        )
+        table = format_table(module.run(ctx))
+        results.append(
+            _golden_result(cfg, f"table_{exp_id}", "table", table, dict(params))
+        )
+    # Merge per-experiment outcomes into one oracle row; details keep
+    # the per-golden breakdown.
+    merged = OracleResult(
+        name="golden_tables",
+        layer=LAYER_GOLDEN,
+        passed=all(r.passed for r in results),
+        skipped=all(r.skipped for r in results),
+        max_error=max((r.max_error for r in results), default=0.0),
+        fragments=sum(r.fragments for r in results),
+        details={r.name: r.details for r in results},
+    )
+    return merged
+
+
+def oracle_golden_frame(cfg: VerifyConfig) -> OracleResult:
+    """Per-array digests of one rendered frame, byte-exact."""
+    _, capture = _session_capture(GOLDEN_FRAME_SCALE)
+    text = frame_digest_text(capture)
+    params = {
+        "workload": VERIFY_WORKLOAD,
+        "frame": 0,
+        "scale": GOLDEN_FRAME_SCALE,
+    }
+    return _golden_result(
+        cfg, f"frame_{VERIFY_WORKLOAD}_f0", "frame", text, params
+    )
+
+
+GOLDEN_ORACLES = (oracle_golden_tables, oracle_golden_frame)
+
+#: Every oracle, in execution order (cheap differential math first,
+#: then rendered metamorphic properties, then golden regeneration).
+ALL_ORACLES = DIFFERENTIAL_ORACLES + METAMORPHIC_ORACLES + GOLDEN_ORACLES
+
+
+def list_oracles() -> "list[tuple[str, str]]":
+    """(name, layer) of every registered oracle, in execution order."""
+    out = []
+    for fn in ALL_ORACLES:
+        probe = fn.__name__
+        if probe.startswith("oracle_"):
+            probe = probe[len("oracle_"):]
+        layer = fn.__module__.rsplit(".", 1)[-1]
+        if layer == "runner":
+            layer = LAYER_GOLDEN
+        out.append((probe, layer))
+    return out
+
+
+def run_verify(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    only: "str | None" = None,
+    goldens_root=None,
+    update_goldens: bool = False,
+) -> VerifyReport:
+    """Run the oracle suite and return the aggregated report.
+
+    ``only`` filters oracles by substring match against the oracle
+    function name or its layer (``--only differential`` runs one
+    layer; ``--only bilinear`` one oracle). An oracle that *raises* is
+    recorded as a failure, never aborts the run.
+    """
+    FAULTS.reset()  # hermetic: a leftover fault plan would poison verdicts
+    cfg = VerifyConfig(
+        seed=seed,
+        quick=quick,
+        goldens_root=goldens_root,
+        update_goldens=update_goldens,
+    )
+    report = VerifyReport(seed=seed, quick=quick)
+    for fn, (name, layer) in zip(ALL_ORACLES, list_oracles()):
+        if only and only not in fn.__name__ and only not in layer:
+            continue
+        start = time.perf_counter()
+        with TELEMETRY.span("verify.oracle", oracle=fn.__name__):
+            try:
+                result = fn(cfg)
+            except Exception as exc:  # noqa: BLE001 — report, don't abort
+                result = OracleResult(
+                    name=name,
+                    layer=layer,
+                    passed=False,
+                    details={"error": f"{type(exc).__name__}: {exc}"},
+                )
+        result.duration_s = time.perf_counter() - start
+        report.results.append(result)
+        if not result.skipped:
+            TELEMETRY.count("verify.oracles_run")
+            TELEMETRY.count("verify.fragments_checked", result.fragments)
+        if not result.passed and not result.skipped:
+            TELEMETRY.count("verify.oracles_failed")
+        TELEMETRY.progress(
+            f"verify: {result.name} [{result.layer}] {result.status} "
+            f"({result.duration_s:.2f}s)"
+        )
+    return report

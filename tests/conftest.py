@@ -13,6 +13,7 @@ import pytest
 from repro.config import GpuConfig
 from repro.experiments.runner import reset_default_context
 from repro.geometry.camera import Camera
+from repro.obs import TELEMETRY
 from repro.resilience import FAULTS
 from repro.geometry.mesh import make_box, make_quad
 from repro.renderer.session import RenderSession
@@ -86,10 +87,14 @@ def _isolated_global_state():
     """Keep the process-wide singletons from leaking between tests.
 
     The default experiment context caches rendered frames keyed only by
-    (workload, frame) and the fault injector is a module-level global;
-    a test that configures either must not affect its neighbours.
+    (workload, frame), the fault injector is a module-level global, and
+    the capture-store hit/miss/write counters accumulate in the global
+    telemetry registry; a test (or verify run) that touches any of them
+    must not affect its neighbours — oracle reports are hermetic.
     """
     FAULTS.reset()
+    TELEMETRY.reset()
     yield
     FAULTS.reset()
+    TELEMETRY.reset()
     reset_default_context()

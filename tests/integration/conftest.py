@@ -1,0 +1,13 @@
+"""Everything under tests/integration/ is marked ``integration``.
+
+Applied here (rather than per-test) so the marker can never drift out
+of sync with the directory layout; select with ``pytest -m integration``
+or exclude with ``-m 'not integration'``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.integration)

@@ -1,0 +1,140 @@
+"""Golden-artifact manager: manifest, check/update lifecycle, digests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.verify.goldens import (
+    GOLDEN_EXPERIMENTS,
+    GoldenStore,
+    STATUS_MATCH,
+    STATUS_MISSING,
+    STATUS_PARAMS_MISMATCH,
+    STATUS_STALE,
+    check_experiment_golden,
+    default_goldens_root,
+    frame_digest_text,
+)
+
+PARAMS = {"scale": 0.5, "frames": 1}
+
+
+def test_missing_then_update_then_match(tmp_path):
+    store = GoldenStore(tmp_path)
+    assert store.check("t1", "hello\n", PARAMS).status == STATUS_MISSING
+    assert store.update("t1", "hello\n", "table", PARAMS) is True
+    check = store.check("t1", "hello\n", PARAMS)
+    assert check.status == STATUS_MATCH and check.ok
+
+
+def test_update_is_idempotent(tmp_path):
+    store = GoldenStore(tmp_path)
+    assert store.update("t1", "hello\n", "table", PARAMS) is True
+    manifest_before = store.manifest_path.read_bytes()
+    artifact_before = store.artifact_path("t1").read_bytes()
+    # Second identical update: no-op, bytes untouched.
+    assert store.update("t1", "hello\n", "table", PARAMS) is False
+    assert store.manifest_path.read_bytes() == manifest_before
+    assert store.artifact_path("t1").read_bytes() == artifact_before
+
+
+def test_stale_golden_reports_diff(tmp_path):
+    store = GoldenStore(tmp_path)
+    store.update("t1", "row a\nrow b\n", "table", PARAMS)
+    check = store.check("t1", "row a\nrow CHANGED\n", PARAMS)
+    assert check.status == STATUS_STALE and not check.ok
+    assert "-row b" in check.diff and "+row CHANGED" in check.diff
+    assert check.details["stored_sha256"] != check.details["regenerated_sha256"]
+
+
+def test_params_mismatch_is_not_stale(tmp_path):
+    store = GoldenStore(tmp_path)
+    store.update("t1", "hello\n", "table", PARAMS)
+    check = store.check("t1", "anything\n", {"scale": 0.25, "frames": 1})
+    assert check.status == STATUS_PARAMS_MISMATCH
+    assert check.details["stored"] == PARAMS
+
+
+def test_manifest_layout_is_sorted_and_versioned(tmp_path):
+    store = GoldenStore(tmp_path)
+    store.update("zz", "z\n", "table", PARAMS)
+    store.update("aa", "a\n", "frame", PARAMS)
+    data = json.loads(store.manifest_path.read_text())
+    assert data["version"] == 1
+    assert list(data["entries"]) == ["aa", "zz"]
+    assert data["entries"]["aa"]["kind"] == "frame"
+    assert len(data["entries"]["aa"]["sha256"]) == 64
+
+
+def test_frame_digest_text_is_deterministic_and_sensitive(capture):
+    text1 = frame_digest_text(capture)
+    text2 = frame_digest_text(capture)
+    assert text1 == text2
+    assert "af_color" in text1 and "sample_keys" in text1
+    # Perturb one array -> exactly that line's digest moves.
+    mutated = capture.af_color.copy()
+    mutated[0, 0] += 0.5
+    original = capture.af_color
+    capture.af_color = mutated
+    try:
+        text3 = frame_digest_text(capture)
+    finally:
+        capture.af_color = original
+    changed = [
+        (a, b)
+        for a, b in zip(text1.splitlines(), text3.splitlines())
+        if a != b
+    ]
+    assert len(changed) == 1 and changed[0][0].startswith("af_color")
+
+
+def test_check_experiment_golden_ignores_unpinned_runs(capture):
+    class Ctx:
+        scale = 0.25
+        frames = 2
+        workload_list = ("HL2-640x480",)
+
+    # Unknown experiment id -> not comparable.
+    assert check_experiment_golden("nope", Ctx(), "text\n") is None
+    # Known id but params differ from the pinned golden -> not comparable.
+    assert check_experiment_golden("fig17", Ctx(), "text\n") is None
+
+
+def test_check_experiment_golden_detects_staleness(tmp_path, monkeypatch):
+    from repro.obs import TELEMETRY
+    from repro.verify import goldens as goldens_mod
+
+    params = GOLDEN_EXPERIMENTS["fig17"]
+
+    class Ctx:
+        scale = params["scale"]
+        frames = params["frames"]
+        workload_list = tuple(params["workloads"])
+
+    store = GoldenStore(tmp_path)
+    store.update("table_fig17", "old table\n", "table", dict(params))
+    monkeypatch.setattr(goldens_mod, "default_goldens_root", lambda: tmp_path)
+
+    TELEMETRY.enabled = True
+    try:
+        check = check_experiment_golden("fig17", Ctx(), "new table\n")
+        assert check is not None and check.status == STATUS_STALE
+        assert TELEMETRY.counter_value("verify.stale_goldens") == 1
+        # Matching bytes -> clean probe, no further counting.
+        check = check_experiment_golden("fig17", Ctx(), "old table\n")
+        assert check.status == STATUS_MATCH
+        assert TELEMETRY.counter_value("verify.stale_goldens") == 1
+    finally:
+        TELEMETRY.enabled = False
+
+
+def test_default_root_points_into_repo_tests():
+    root = default_goldens_root()
+    assert root.parts[-2:] == ("tests", "goldens")
+
+
+def test_golden_experiment_specs_are_plain_json():
+    # Specs are stored in manifests verbatim; keep them JSON-native.
+    for spec in GOLDEN_EXPERIMENTS.values():
+        assert json.loads(json.dumps(spec)) == spec

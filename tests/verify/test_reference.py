@@ -1,0 +1,139 @@
+"""The scalar reference oracle itself, checked against closed forms.
+
+The reference must be trustworthy *independently* of the vectorized
+code it cross-checks, so these tests only use inputs with analytically
+known answers (constant textures, texel centers, degenerate key sets).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+from repro.verify.reference import (
+    ref_af_ssim_n,
+    ref_af_ssim_txds,
+    ref_anisotropic,
+    ref_bilinear,
+    ref_compute_footprint,
+    ref_trilinear,
+    ref_trilinear_levels,
+    ref_two_stage_decision,
+    ref_txds,
+)
+
+
+@pytest.fixture(scope="module")
+def const_chain():
+    data = np.full((16, 16, 4), 0.25, dtype=np.float32)
+    data[..., 3] = 1.0
+    return MipChain(Texture2D("const", data))
+
+
+def test_bilinear_constant_texture_is_constant(const_chain):
+    for u, v in ((0.1, 0.9), (-0.3, 2.7), (0.5, 0.5)):
+        color = ref_bilinear(const_chain, 0, u, v)
+        np.testing.assert_allclose(color[:3], 0.25, atol=1e-15)
+        assert color[3] == pytest.approx(1.0)
+
+
+def test_bilinear_texel_center_is_exact():
+    data = np.zeros((4, 4, 4), dtype=np.float32)
+    data[1, 2] = (0.2, 0.4, 0.6, 1.0)
+    chain = MipChain(Texture2D("pt", data))
+    # Texel (row 1, col 2) has its center at u=(2+0.5)/4, v=(1+0.5)/4.
+    color = ref_bilinear(chain, 0, 2.5 / 4.0, 1.5 / 4.0)
+    np.testing.assert_allclose(color, [0.2, 0.4, 0.6, 1.0], atol=1e-12)
+
+
+def test_trilinear_levels_clamp_and_blend(const_chain):
+    assert ref_trilinear_levels(const_chain, -3.0) == (0, 1, 0.0)
+    l0, l1, frac = ref_trilinear_levels(const_chain, 1.25)
+    assert (l0, l1) == (1, 2)
+    assert frac == pytest.approx(0.25)
+    top = const_chain.max_level
+    assert ref_trilinear_levels(const_chain, top + 5.0) == (top, top, 0.0)
+
+
+def test_trilinear_interpolates_between_levels():
+    # Level 0 all zeros, level 1 all ones -> lod 0.5 blends to 0.5.
+    chain = MipChain(Texture2D("ramp", np.zeros((8, 8, 4), dtype=np.float32)))
+    chain.levels[1] = np.ones_like(chain.levels[1])
+    color = ref_trilinear(chain, 0.5, 0.5, 0.5)
+    np.testing.assert_allclose(color, 0.5, atol=1e-12)
+
+
+def test_footprint_isotropic_and_anisotropic():
+    iso = ref_compute_footprint(1 / 16, 0.0, 0.0, 1 / 16, 16, 16)
+    assert iso["n"] == 1
+    assert iso["lod_tf"] == pytest.approx(0.0)
+    # 4:1 anisotropy: major axis 4 texels, minor 1.
+    aniso = ref_compute_footprint(4 / 16, 0.0, 0.0, 1 / 16, 16, 16)
+    assert aniso["n"] == 4
+    assert aniso["lod_tf"] == pytest.approx(2.0)
+    assert aniso["lod_af"] == pytest.approx(0.0)
+    assert (aniso["major_du"], aniso["major_dv"]) == (4 / 16, 0.0)
+
+
+def test_footprint_clamps_to_max_aniso():
+    fp = ref_compute_footprint(64 / 16, 0.0, 0.0, 1 / 16, 16, 16, max_aniso=16)
+    assert fp["n"] == 16
+
+
+def test_anisotropic_n1_equals_trilinear(const_chain):
+    a = ref_anisotropic(const_chain, 0.3, 0.7, 0.1, 0.0, 0.0, 1)
+    t = ref_trilinear(const_chain, 0.3, 0.7, 0.0)
+    np.testing.assert_array_equal(a, t)
+
+
+def test_af_ssim_n_closed_form():
+    assert ref_af_ssim_n(1) == pytest.approx(1.0)
+    assert ref_af_ssim_n(2) == pytest.approx((4.0 / 5.0) ** 2)
+    # Monotone decreasing in N beyond 1.
+    values = [ref_af_ssim_n(n) for n in range(1, 17)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_txds_degenerate_and_extremes():
+    assert ref_txds([7]) == 1.0  # single sample: nothing to share
+    assert ref_txds([5, 5, 5, 5]) == pytest.approx(1.0)  # all shared
+    assert ref_txds([1, 2, 3, 4]) == pytest.approx(0.0)  # all distinct
+    # Half shared: entropy 1 bit over log2(4)=2 bits -> Txds = 0.5.
+    assert ref_txds([9, 9, 8, 8]) == pytest.approx(0.5)
+    assert ref_af_ssim_txds(1.0) == pytest.approx(1.0)
+
+
+def test_two_stage_gating():
+    # N <= 1 never checked.
+    assert ref_two_stage_decision(1, 0.0, 0.0) == (False, False)
+    # Stage 1 fires on similar-enough N.
+    s1, s2 = ref_two_stage_decision(2, 0.0, 0.5)
+    assert s1 and not s2
+    # Stage 1 misses, stage 2 rescues via Txds.
+    s1, s2 = ref_two_stage_decision(8, 0.95, 0.5)
+    assert not s1 and s2
+    # Stage 2 disabled -> no rescue.
+    s1, s2 = ref_two_stage_decision(8, 0.95, 0.5, use_stage2=False)
+    assert not s1 and not s2
+    # Split thresholds: stage 2 judged against its own threshold.
+    s1, s2 = ref_two_stage_decision(8, 0.95, 0.99, stage2_threshold=0.5)
+    assert not s1 and s2
+
+
+def test_reference_uses_float64():
+    chain = MipChain(
+        Texture2D("f32", np.random.default_rng(0)
+                  .random((8, 8, 4)).astype(np.float32))
+    )
+    assert ref_bilinear(chain, 0, 0.3, 0.4).dtype == np.float64
+    assert ref_trilinear(chain, 0.3, 0.4, 0.7).dtype == np.float64
+
+
+def test_txds_matches_entropy_definition():
+    keys = [1, 1, 2, 3, 3, 3, 4, 4]
+    n = len(keys)
+    probs = [keys.count(k) / n for k in set(keys)]
+    h = -sum(p * math.log2(p) for p in probs)
+    assert ref_txds(keys) == pytest.approx(1.0 - h / math.log2(n))
