@@ -1,0 +1,121 @@
+"""Diff two bench JSONs and fail on wall-clock regressions.
+
+Compares the tracked spans of two ``benchmarks/hotpath.py`` result
+files (or any bench JSON with a ``spans: {name: {best_ms}}`` section)
+and exits non-zero when any span regressed by more than the threshold::
+
+    PYTHONPATH=src python benchmarks/compare.py old.json new.json \
+        --threshold 0.25
+
+``--calibrate`` scales the old file's times by the ratio of the two
+files' ``calibration_ms`` machine-speed tokens before comparing, which
+makes a baseline recorded on one machine usable as a regression gate
+on another (CI vs a developer laptop). The token is a fixed seeded
+numpy workload, so the scaling is crude but monotone — pair it with a
+generous threshold, not a tight one.
+
+``--against-baseline FILE`` compares FILE's ``spans`` section against
+the pinned ``baseline`` section inside the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+
+def load_spans(path: "pathlib.Path") -> "tuple[dict, float]":
+    doc = json.loads(path.read_text())
+    spans = doc.get("spans")
+    if not isinstance(spans, dict) or not spans:
+        raise SystemExit(f"{path}: no spans section")
+    return spans, float(doc.get("calibration_ms") or 0.0)
+
+
+def compare(
+    old: "dict[str, dict]",
+    new: "dict[str, dict]",
+    *,
+    threshold: float,
+    scale: float = 1.0,
+) -> "tuple[list[str], list[str]]":
+    """Return (report lines, regression lines)."""
+    lines: "list[str]" = []
+    regressions: "list[str]" = []
+    for name in old:
+        if name not in new:
+            lines.append(f"{name:<28} missing from new run")
+            continue
+        old_ms = float(old[name]["best_ms"]) * scale
+        new_ms = float(new[name]["best_ms"])
+        if old_ms <= 0:
+            continue
+        delta = new_ms / old_ms - 1.0
+        marker = ""
+        if delta > threshold:
+            marker = "  << REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"{name:<28} {old_ms:>10.3f} -> {new_ms:>10.3f} ms "
+            f"({delta:+.1%}){marker}"
+        )
+    for name in new:
+        if name not in old:
+            lines.append(f"{name:<28} new span (no old reference)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", nargs="?", help="reference bench JSON")
+    parser.add_argument("new", nargs="?", help="candidate bench JSON")
+    parser.add_argument(
+        "--against-baseline", metavar="FILE",
+        help="compare FILE's spans vs the baseline pinned inside FILE",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max tolerated slowdown fraction (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--calibrate", action="store_true",
+        help="scale old times by the calibration_ms ratio of the files",
+    )
+    args = parser.parse_args(argv)
+
+    if args.against_baseline:
+        doc = json.loads(pathlib.Path(args.against_baseline).read_text())
+        old = doc.get("baseline")
+        new = doc.get("spans")
+        if not old:
+            raise SystemExit(f"{args.against_baseline}: no pinned baseline")
+        scale = 1.0
+        print(f"# {args.against_baseline}: spans vs pinned baseline")
+    else:
+        if not (args.old and args.new):
+            parser.error("need OLD and NEW files (or --against-baseline)")
+        old, old_cal = load_spans(pathlib.Path(args.old))
+        new, new_cal = load_spans(pathlib.Path(args.new))
+        scale = 1.0
+        if args.calibrate:
+            if old_cal <= 0 or new_cal <= 0:
+                raise SystemExit("--calibrate needs calibration_ms in both files")
+            scale = new_cal / old_cal
+            print(f"# calibration: old times scaled by {scale:.3f}")
+        print(f"# {args.old} -> {args.new} (threshold +{args.threshold:.0%})")
+
+    lines, regressions = compare(
+        old, new, threshold=args.threshold, scale=scale
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(f"FAIL: {len(regressions)} span(s) regressed "
+              f"beyond +{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("ok: no span regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,9 +128,16 @@ class CaptureStore:
         return capture
 
     def put(self, spec: "dict[str, object]", capture: FrameCapture) -> pathlib.Path:
-        """Atomically publish ``capture`` under its content key."""
+        """Atomically publish ``capture`` under its content key.
+
+        Entries are written as uncompressed .npz: the store is a
+        same-machine transfer channel (worker -> worker -> parent), and
+        on that path the deflate pass is pure CPU overhead — a load
+        must be cheap enough to pay once per (worker, capture) pair.
+        Compressed entries from older runs still load fine.
+        """
         path = self.path_for(spec)
-        atomic_write_bytes(path, capture_to_npz_bytes(capture))
+        atomic_write_bytes(path, capture_to_npz_bytes(capture, compress=False))
         self.stats.writes += 1
         TELEMETRY.count("capture_store.writes")
         return path

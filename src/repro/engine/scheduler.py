@@ -8,14 +8,21 @@ the state (caches, failure records, checkpoint), the engine decides
 * **serial** (``jobs=1``) — each job runs in-process through exactly
   the code paths the lazy accessors use, so serial engine runs are
   byte-identical to the pre-engine imperative loops;
-* **process** (``jobs>1``) — a ``concurrent.futures``
-  ProcessPoolExecutor, initialized once per worker with a
-  :class:`~repro.engine.worker.WorkerSpec`. Captures are rendered in a
-  first wave (one job per distinct frame, so N eval jobs on a frame
+* **process** (``jobs>1``) — a persistent ``concurrent.futures``
+  ProcessPoolExecutor, created once per (spec, jobs) in a shared
+  module-level registry and reused across ``execute()`` calls *and
+  contexts*, forked where the platform allows so workers
+  inherit the parent's warm state (resolved workloads, imported numpy)
+  instead of rebuilding it per process. Jobs travel in chunks (one IPC
+  round-trip per chunk, not per job) through
+  :func:`~repro.engine.worker.run_job_chunk`. Captures are rendered in
+  a first wave (one job per distinct frame, so N eval jobs on a frame
   don't race N renders of it), then evaluations stream through the
   pool. **Results are merged in planned-job order, not completion
   order**, which makes ``--jobs N`` output deterministic and equal to
-  serial output.
+  serial output. Synthetic capture jobs the wave planner adds on
+  behalf of eval jobs are bookkeeping-only: they never count toward
+  ``executed``, so ``executed <= planned`` holds on every backend.
 
 Failures never abort a run and never raise here: a failed job is
 parked in the context's negative cache as a
@@ -27,14 +34,76 @@ identical between backends and between engine and pre-engine code.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
+import multiprocessing
 from dataclasses import dataclass
 
 from ..errors import JobError
 from ..obs import TELEMETRY
 from ..resilience.faults import FAULTS
 from .jobs import KIND_CAPTURE, EvalJob, capture_job, dedupe_jobs
-from .worker import WorkerSpec, init_worker, run_job
+from .worker import WorkerSpec, init_worker, resolve_workload, run_job_chunk
+
+#: Target chunks per worker per wave. One big chunk per worker
+#: minimizes IPC round-trips, which measurably beats finer-grained
+#: work stealing here: jobs within a wave are homogeneous (same sweep,
+#: same frame sizes), so imbalance from coarse chunks is small, while
+#: each extra round-trip costs a fixed dispatch + unpickle fee.
+_CHUNKS_PER_WORKER = 1
+
+#: Shared worker-pool registry, LRU-ordered (most recent last). Pools
+#: are keyed by (WorkerSpec, jobs) and deliberately outlive the Engine
+#: that created them: forking and warming workers costs hundreds of
+#: milliseconds, and a fresh ExperimentContext over the same store is
+#: exactly the case where the old pool's warm caches (sessions, loaded
+#: captures) are still valid. The bound keeps at most a couple of
+#: worker fleets alive; evicted pools are shut down without waiting.
+_MAX_POOLS = 2
+_POOLS: "list[tuple[tuple, concurrent.futures.ProcessPoolExecutor]]" = []
+
+
+def _shared_pool(
+    spec: WorkerSpec, jobs: int
+) -> concurrent.futures.ProcessPoolExecutor:
+    key = (spec, jobs)
+    for i, (pool_key, executor) in enumerate(_POOLS):
+        if pool_key == key:
+            if i != len(_POOLS) - 1:
+                _POOLS.append(_POOLS.pop(i))
+            return executor
+    # Fork where available: workers inherit the parent's resolved
+    # workloads and imported modules copy-on-write instead of
+    # re-importing and re-building them per process.
+    methods = multiprocessing.get_all_start_methods()
+    mp_context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=mp_context,
+        initializer=init_worker,
+        initargs=(spec,),
+    )
+    _POOLS.append((key, executor))
+    while len(_POOLS) > _MAX_POOLS:
+        _, evicted = _POOLS.pop(0)
+        evicted.shutdown(wait=False, cancel_futures=True)
+    return executor
+
+
+def shutdown_pools() -> None:
+    """Tear down every shared worker pool (idempotent).
+
+    Registered atexit; call it directly to reclaim worker processes
+    early (e.g. between benchmark legs with different worker counts).
+    """
+    while _POOLS:
+        _, executor = _POOLS.pop()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
 
 
 @dataclass
@@ -59,6 +128,15 @@ class Engine:
     def __init__(self, ctx) -> None:
         self.ctx = ctx
         self.report = ExecutionReport()
+
+    def close(self) -> None:
+        """Release this engine's execution resources (idempotent).
+
+        Worker pools are shared across engines (see :data:`_POOLS`)
+        and intentionally survive a context's close so the next
+        context over the same store reuses warm workers; call
+        :func:`shutdown_pools` to reclaim the processes themselves.
+        """
 
     # -- entry point ----------------------------------------------------
 
@@ -112,6 +190,16 @@ class Engine:
 
     # -- process backend ------------------------------------------------
 
+    def _pool(self, spec: WorkerSpec) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent worker pool for ``spec`` (created on demand).
+
+        Pools live in the module-level shared registry, so they outlive
+        not just one ``execute()`` call but the engine itself — worker
+        warm state (cached sessions, loaded captures) carries over to
+        later contexts with an identical spec and worker count.
+        """
+        return _shared_pool(spec, self.ctx.jobs)
+
     def _execute_process(self, pending, report: ExecutionReport) -> None:
         ctx = self.ctx
         store = ctx.ensure_store()
@@ -122,13 +210,25 @@ class Engine:
             telemetry_enabled=TELEMETRY.enabled,
             fault_plan=FAULTS.plan if FAULTS.enabled else None,
         )
-        # Wave 1: one render per distinct (workload, frame, variant) any
-        # pending job needs and the store doesn't have yet. Without it,
-        # every eval job of a threshold sweep would race to render the
-        # same frame in its own worker.
-        captures: "list[EvalJob]" = []
+        # Wave 1: planned capture jobs, plus one *synthetic* render per
+        # distinct (workload, frame, variant) the eval jobs need and the
+        # store doesn't have yet. Without it, every eval job of a
+        # threshold sweep would race to render the same frame in its
+        # own worker. Synthetic jobs are bookkeeping-only — they merge
+        # telemetry and store stats but never count toward ``executed``
+        # (a failed synthetic render resurfaces as the dependent eval
+        # job's own failure), preserving ``executed <= planned``.
+        planned_captures = [job for job in pending if job.kind == KIND_CAPTURE]
+        evals = [job for job in pending if job.kind != KIND_CAPTURE]
         seen_specs: "set[str]" = set()
-        for job in pending:
+        captures_stored = True
+        for job in planned_captures:
+            wl, frame, variant = job.capture_key()
+            path = store.path_for(ctx.capture_spec(wl, frame, variant))
+            seen_specs.add(path.name)
+            captures_stored = captures_stored and path.exists()
+        synthetic: "list[EvalJob]" = []
+        for job in evals:
             wl, frame, variant = job.capture_key()
             cspec = ctx.capture_spec(wl, frame, variant)
             name = store.path_for(cspec).name
@@ -138,26 +238,99 @@ class Engine:
             if not store.path_for(cspec).exists() and not ctx.has_capture(
                 wl, frame, variant
             ):
-                captures.append(capture_job(wl, frame, job.config_key))
-        evals = [job for job in pending if job.kind != KIND_CAPTURE]
+                synthetic.append(capture_job(wl, frame, job.config_key))
 
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=ctx.jobs, initializer=init_worker, initargs=(spec,)
-        )
-        try:
-            for wave in (captures, evals):
-                futures = [(job, executor.submit(run_job, job)) for job in wave]
-                # Submission order *is* planned order; consuming the
-                # futures in this order is the determinism guarantee.
-                for job, future in futures:
-                    self._merge(job, future.result(), report)
-        finally:
-            executor.shutdown(wait=True, cancel_futures=True)
+        # Warm the fork template: resolving each distinct workload in
+        # the parent populates the lru caches every forked worker then
+        # inherits, so N workers don't build the same scene N times.
+        for name in dict.fromkeys(job.workload for job in pending):
+            try:
+                resolve_workload(name)
+            except Exception:  # noqa: BLE001 — the job itself reports it
+                pass
+
+        wave1 = [(job, True) for job in planned_captures]
+        wave1 += [(job, False) for job in synthetic]
+        wave2 = [(job, True) for job in evals]
+        # The wave barrier only exists so eval jobs never race renders
+        # of their own captures; when every capture is already in the
+        # store (a resumed or repeated run) there is nothing to race
+        # and the barrier is pure latency — fuse into a single wave.
+        if not synthetic and captures_stored:
+            wave1, wave2 = wave1 + wave2, []
+        executor = self._pool(spec)
+        for wave in (wave1, wave2):
+            if not wave:
+                continue
+            submitted = []
+            for chunk in self._affine_chunks(wave):
+                submitted.append(
+                    (chunk, executor.submit(
+                        run_job_chunk, [job for job, _ in chunk]
+                    ))
+                )
+            # Submission order *is* planned order; consuming the
+            # futures in this order is the determinism guarantee.
+            for chunk, future in submitted:
+                for (job, counted), outcome in zip(chunk, future.result()):
+                    self._merge(job, outcome, report, counted=counted)
         # Parked captures rendered by the capture wave satisfy the
         # original capture-kind jobs; aggregation loads them lazily
         # from the store.
 
-    def _merge(self, job: EvalJob, outcome: tuple, report: ExecutionReport) -> None:
+    def _affine_chunks(self, wave: "list[tuple]") -> "list[list[tuple]]":
+        """Split a wave into dispatch chunks with capture affinity.
+
+        Every distinct capture a chunk touches costs its worker one
+        store load, so chunk boundaries follow runs of jobs sharing a
+        capture: small runs coalesce up to the target chunk size, large
+        runs become whole chunks (keeping one worker on one capture)
+        and are split only when there are fewer runs than workers —
+        balance then beats locality. Planned order is preserved within
+        and across chunks.
+        """
+        jobs = self.ctx.jobs
+        target = max(1, -(-len(wave) // (jobs * _CHUNKS_PER_WORKER)))
+        runs: "list[list[tuple]]" = []
+        last_key = object()
+        for entry in wave:
+            key = entry[0].capture_key()
+            if runs and key == last_key:
+                runs[-1].append(entry)
+            else:
+                runs.append([entry])
+                last_key = key
+        chunks: "list[list[tuple]]" = []
+        current: "list[tuple]" = []
+        for run in runs:
+            if current and len(current) + len(run) > target:
+                chunks.append(current)
+                current = []
+            if len(run) >= target:
+                chunks.append(run)
+            else:
+                current.extend(run)
+        if current:
+            chunks.append(current)
+        if len(chunks) < jobs:
+            parts = -(-jobs // len(chunks))
+            split: "list[list[tuple]]" = []
+            for chunk in chunks:
+                size = max(1, -(-len(chunk) // parts))
+                split.extend(
+                    chunk[i:i + size] for i in range(0, len(chunk), size)
+                )
+            chunks = split
+        return chunks
+
+    def _merge(
+        self,
+        job: EvalJob,
+        outcome: tuple,
+        report: ExecutionReport,
+        *,
+        counted: bool = True,
+    ) -> None:
         ctx = self.ctx
         status, payload = outcome[0], outcome[1]
         TELEMETRY.merge_remote(outcome[-3])
@@ -169,11 +342,12 @@ class Engine:
             store.stats.misses += misses
             store.stats.writes += writes
         if status == "ok":
-            report.executed += 1
+            if counted:
+                report.executed += 1
             if job.kind != KIND_CAPTURE and payload is not None:
                 TELEMETRY.count("experiment.evaluations")
                 ctx.store_metrics(job.metrics_key(), payload)
-        else:
+        elif counted:
             _status, etype, message = outcome[0], outcome[1], outcome[2]
             self._park_failure(job, etype, message, report)
 

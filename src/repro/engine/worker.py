@@ -18,6 +18,7 @@ workers converge on one stored copy per frame.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from dataclasses import replace as dataclasses_replace
 
@@ -253,6 +254,15 @@ def init_worker(spec: WorkerSpec) -> None:
         FAULTS.configure(spec.fault_plan)
     else:
         FAULTS.reset()
+    # Everything alive at this point (imports, inherited workload
+    # caches) is effectively immortal for the worker's lifetime:
+    # freezing it keeps cyclic-gc passes off it and, under fork,
+    # avoids dirtying inherited copy-on-write pages during collection.
+    # No gc.collect() first — that walks the whole inherited heap per
+    # worker, which is exactly the kind of per-process startup cost the
+    # persistent pool exists to avoid.
+    if hasattr(gc, "freeze"):
+        gc.freeze()
 
 
 def _store_delta(before: "tuple[int, int, int]") -> "tuple[int, int, int]":
@@ -262,6 +272,22 @@ def _store_delta(before: "tuple[int, int, int]") -> "tuple[int, int, int]":
         stats.misses - before[1],
         stats.writes - before[2],
     )
+
+
+def _execute_one(job: EvalJob) -> "tuple[str, object, object]":
+    """Run one job against the worker state; never raises job errors."""
+    try:
+        capture = _STATE.capture(job.workload, job.frame, job.config_key)
+        if job.kind == KIND_EVAL:
+            result = evaluate_job(
+                _STATE.session(job.config_key), capture, job
+            )
+            return ("ok", extract_frame_metrics(result), None)
+        return ("ok", None, None)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 — shipped as data, see run_job
+        return ("err", type(exc).__name__, str(exc))
 
 
 def run_job(job: EvalJob) -> tuple:
@@ -279,24 +305,44 @@ def run_job(job: EvalJob) -> tuple:
     FAULTS.injected = {}
     stats = _STATE.store.stats
     before = (stats.hits, stats.misses, stats.writes)
-    try:
-        capture = _STATE.capture(job.workload, job.frame, job.config_key)
-        if job.kind == KIND_EVAL:
-            result = evaluate_job(
-                _STATE.session(job.config_key), capture, job
-            )
-            metrics = extract_frame_metrics(result)
-        else:
-            metrics = None
-    except (KeyboardInterrupt, SystemExit):
-        raise
-    except Exception as exc:  # noqa: BLE001 — shipped as data, see doc
+    status, a, b = _execute_one(job)
+    if status == "err":
         return (
-            "err", type(exc).__name__, str(exc),
+            "err", a, b,
             TELEMETRY.snapshot_remote(), dict(FAULTS.injected),
             _store_delta(before),
         )
     return (
-        "ok", metrics, TELEMETRY.snapshot_remote(), dict(FAULTS.injected),
+        "ok", a, TELEMETRY.snapshot_remote(), dict(FAULTS.injected),
         _store_delta(before),
     )
+
+
+def run_job_chunk(jobs: "list[EvalJob]") -> "list[tuple]":
+    """Execute a chunk of jobs in one pool round-trip.
+
+    Job semantics match :func:`run_job`, but the telemetry / fault /
+    store bookkeeping runs once per chunk, not once per job: the final
+    outcome carries the whole chunk's deltas and the others carry
+    ``None`` (the parent's merge treats ``None`` as empty). Snapshot
+    cost was a measurable slice of small-job dispatch.
+    """
+    assert _STATE is not None, "run_job_chunk before init_worker"
+    TELEMETRY.reset()
+    FAULTS.injected = {}
+    stats = _STATE.store.stats
+    before = (stats.hits, stats.misses, stats.writes)
+    outcomes: "list[tuple]" = []
+    for job in jobs:
+        status, a, b = _execute_one(job)
+        if status == "err":
+            outcomes.append(("err", a, b, None, None, (0, 0, 0)))
+        else:
+            outcomes.append(("ok", a, None, None, (0, 0, 0)))
+    if outcomes:
+        tail = outcomes[-1]
+        outcomes[-1] = tail[:-3] + (
+            TELEMETRY.snapshot_remote(), dict(FAULTS.injected),
+            _store_delta(before),
+        )
+    return outcomes

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from ..engine.jobs import EvalJob, eval_job
 from .runner import (
-    DEFAULT_WORKLOADS,
     ExperimentContext,
     ExperimentResult,
     get_default_context,

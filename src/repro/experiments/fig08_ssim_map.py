@@ -14,7 +14,6 @@ returned in the result for callers that want to save them (see
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..engine.jobs import EvalJob, capture_job
 from ..quality.ssim import ssim_map

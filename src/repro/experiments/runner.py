@@ -276,6 +276,25 @@ class ExperimentContext:
         ):
             self.save_checkpoint()
 
+    def close(self) -> None:
+        """Release engine workers and any temporary capture store.
+
+        Idempotent; a closed context can still aggregate from its
+        in-memory caches, and a subsequent :meth:`execute` simply
+        starts a fresh worker pool.
+        """
+        self.engine.close()
+        if self._tmp_store is not None:
+            self._store = None
+            self._tmp_store.cleanup()
+            self._tmp_store = None
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def ensure_store(self) -> CaptureStore:
         """The attached capture store, creating a temporary one if none.
 

@@ -7,7 +7,7 @@ replayed as sequences of draw calls over such meshes (Section VI).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,7 @@ gives texture fetches their spatial locality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -76,8 +76,13 @@ class CacheSim:
         self.config = config
         self._set_mask = num_sets - 1
         self._ways = config.ways
-        # One LRU-ordered list of line addresses per set (MRU first).
-        self._sets: "list[list[int]]" = [[] for _ in range(num_sets)]
+        # One insertion-ordered dict of resident line addresses per
+        # set: first key is LRU, last key is MRU. A dict makes every
+        # LRU operation O(1) — membership, touch (del + reinsert at
+        # the end), and victim pick (first key) — where the previous
+        # list representation paid an O(ways) scan *and* an O(ways)
+        # shift per access; the hit/miss stream is identical.
+        self._sets: "list[dict[int, None]]" = [{} for _ in range(num_sets)]
         self.stats = CacheStats()
 
     def reset(self) -> None:
@@ -99,20 +104,20 @@ class CacheSim:
             return collapsed
 
         misses: "list[int]" = []
+        misses_append = misses.append
         sets = self._sets
         mask = self._set_mask
         ways = self._ways
         hits = 0
         for addr in collapsed.tolist():
-            ways_list = sets[addr & mask]
-            try:
-                ways_list.remove(addr)
-            except ValueError:
-                misses.append(addr)
-                if len(ways_list) >= ways:
-                    ways_list.pop()
-            else:
+            resident = sets[addr & mask]
+            if addr in resident:
+                del resident[addr]
                 hits += 1
-            ways_list.insert(0, addr)
+            else:
+                misses_append(addr)
+                if len(resident) >= ways:
+                    del resident[next(iter(resident))]
+            resident[addr] = None
         self.stats.hits += hits
         return np.asarray(misses, dtype=np.int64)

@@ -17,7 +17,7 @@ are the limit of that scheme and keep the model vectorizable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -107,14 +107,19 @@ def load_capture(path) -> FrameCapture:
         return _from_archive(data)
 
 
-def capture_to_npz_bytes(capture: FrameCapture) -> bytes:
+def capture_to_npz_bytes(capture: FrameCapture, *, compress: bool = True) -> bytes:
     """The .npz archive of a capture as an in-memory byte string.
 
     Used by the capture store, which needs the whole payload up front
     so it can go through :func:`repro.ioutil.atomic_write_bytes`.
+    ``compress=False`` writes a stored (deflate-free) zip — the right
+    trade for same-machine transfer between pool workers, where the
+    deflate pass costs more CPU than the saved disk bytes are worth.
+    ``np.load`` reads both forms, so readers never need to know.
     """
     buffer = io.BytesIO()
-    np.savez_compressed(buffer, **_payload(capture))
+    saver = np.savez_compressed if compress else np.savez
+    saver(buffer, **_payload(capture))
     return buffer.getvalue()
 
 

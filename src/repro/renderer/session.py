@@ -19,7 +19,7 @@ re-evaluations, exactly mirroring the hardware's structure.
 from __future__ import annotations
 
 from dataclasses import asdict as dataclasses_asdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from dataclasses import replace as dataclasses_replace
 
 import numpy as np
@@ -36,7 +36,6 @@ from ..power.components import EnergyParams
 from ..power.energy import EnergyBreakdown, EnergyModel, FrameEvents
 from ..quality.ssim import mssim as mssim_fn
 from ..raster.quads import quad_divergence_fraction, quad_ids
-from ..resilience.faults import FAULTS
 from ..resilience.guards import sanitize_colors
 from ..texture.addressing import TextureLayout
 from ..texture.mipmap import MipChain

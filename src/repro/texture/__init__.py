@@ -12,7 +12,13 @@ from .mipmap import MipChain
 from .addressing import TextureLayout, TEXEL_BYTES, CACHE_LINE_BYTES
 from .footprint import FootprintInfo, compute_footprints
 from .sampler import bilinear_sample, trilinear_sample, trilinear_footprint_keys
-from .anisotropic import AnisoResult, anisotropic_filter, aniso_sample_positions
+from .anisotropic import (
+    AnisoBatchResult,
+    AnisoResult,
+    anisotropic_filter,
+    anisotropic_filter_batch,
+    aniso_sample_positions,
+)
 from .unit import TextureUnit, FilteredBatch
 from .compression import (
     CompressedTextureLayout,
@@ -22,6 +28,7 @@ from .compression import (
 )
 
 __all__ = [
+    "AnisoBatchResult",
     "AnisoResult",
     "CACHE_LINE_BYTES",
     "CompressedTextureLayout",
@@ -34,6 +41,7 @@ __all__ = [
     "TextureUnit",
     "aniso_sample_positions",
     "anisotropic_filter",
+    "anisotropic_filter_batch",
     "bilinear_sample",
     "compress_chain",
     "compress_texture",

@@ -24,6 +24,7 @@ from .sampler import (
     TrilinearInfo,
     footprint_keys_from_info,
     texel_coords_from_info,
+    trilinear_footprint_keys,
     trilinear_info,
     trilinear_sample,
 )
@@ -74,6 +75,88 @@ class AnisoResult:
     def texel_coords(self):
         """The (levels, iy, ix) of all 8 texels of every sample."""
         return texel_coords_from_info(self.sample_info)
+
+
+@dataclass(frozen=True)
+class AnisoBatchResult:
+    """Output of anisotropic filtering for a whole mixed-``N`` batch.
+
+    Sample-granular arrays are flat in CSR order: fragment ``i``'s
+    samples occupy ``[row_ptr[i], row_ptr[i+1])``.
+
+    Attributes:
+        color: ``(count, 4)`` filtered colors (mean of each row's N).
+        sample_keys: ``(total,)`` int64 footprint keys at TF's LOD.
+        sample_info: gather data for all ``total`` samples at AF's LOD.
+        row_ptr: ``(count + 1,)`` CSR row pointer over fragments.
+    """
+
+    color: np.ndarray
+    sample_keys: np.ndarray
+    sample_info: TrilinearInfo
+    row_ptr: np.ndarray
+
+    def texel_coords(self):
+        """The (levels, iy, ix) of all 8 texels of every sample."""
+        return texel_coords_from_info(self.sample_info)
+
+
+def anisotropic_filter_batch(
+    chain: MipChain,
+    u: np.ndarray,
+    v: np.ndarray,
+    footprints: FootprintInfo,
+    row_ptr: np.ndarray,
+    *,
+    dedup: bool = False,
+) -> AnisoBatchResult:
+    """Anisotropically filter one whole fragment batch in fused kernels.
+
+    Equivalent to calling :func:`anisotropic_filter` once per equal-N
+    group and scattering into CSR slots, but every per-sample stage —
+    position generation, LOD resolution, texel gathers, footprint keys
+    — runs as one dense kernel over the flat CSR sample axis, and the
+    TF-LOD pass computes only the integer key state instead of a second
+    full ``trilinear_info``. Outputs are bit-identical to the grouped
+    path; only the per-row mean still iterates, once per distinct N, to
+    preserve ``mean(axis=1)``'s float32 reduction order exactly.
+
+    ``dedup=True`` gathers each distinct texel once per batch
+    (sample-reuse in the spirit of Wronski et al. / Akenine-Möller et
+    al.) — profitable when overlapping footprints dominate.
+    """
+    n = footprints.n
+    count = n.shape[0]
+    total = int(row_ptr[-1])
+    rows = np.repeat(np.arange(count, dtype=np.int64), n)
+    within = np.arange(total, dtype=np.int64) - row_ptr[rows]
+    t = (within + 0.5) / n[rows].astype(np.float64) - 0.5
+    u = np.asarray(u, dtype=np.float64)[rows]
+    v = np.asarray(v, dtype=np.float64)[rows]
+    su = u + t * footprints.major_du[rows]
+    sv = v + t * footprints.major_dv[rows]
+
+    info = trilinear_info(chain, su, sv, footprints.lod_af[rows])
+    colors = trilinear_sample(chain, su, sv, None, info=info, dedup=dedup)
+    sample_keys = trilinear_footprint_keys(
+        chain, su, sv, footprints.lod_tf[rows]
+    )
+
+    color = np.empty((count, 4), dtype=np.float32)
+    ones = np.nonzero(n == 1)[0]
+    if ones.size:
+        # N == 1 degenerates to the sample itself (mean of one).
+        color[ones] = colors[row_ptr[ones]]
+    for n_value in np.unique(n):
+        n_value = int(n_value)
+        if n_value == 1:
+            continue
+        group = np.nonzero(n == n_value)[0]
+        slots = row_ptr[group][:, None] + np.arange(n_value)[None, :]
+        color[group] = colors[slots].mean(axis=1)
+    return AnisoBatchResult(
+        color=color, sample_keys=sample_keys, sample_info=info, row_ptr=row_ptr
+    )
 
 
 def anisotropic_filter(

@@ -113,9 +113,10 @@ class CompressedTextureLayout:
         self._level_bases: "list[np.ndarray]" = []
         self._level_widths: "list[np.ndarray]" = []
         self._level_heights: "list[np.ndarray]" = []
+        self._level_blocks_x: "list[np.ndarray]" = []
         cursor = 0
         for chain in self.chains:
-            bases, widths, heights = [], [], []
+            bases, widths, heights, blocks = [], [], [], []
             for arr in chain.levels:
                 h, w = arr.shape[:2]
                 bases.append(cursor)
@@ -123,11 +124,13 @@ class CompressedTextureLayout:
                 heights.append(h)
                 blocks_x = (w + BLOCK_EDGE - 1) // BLOCK_EDGE
                 blocks_y = (h + BLOCK_EDGE - 1) // BLOCK_EDGE
+                blocks.append(blocks_x)
                 nbytes = blocks_x * blocks_y * BLOCK_BYTES
                 cursor += (nbytes + CACHE_LINE_BYTES - 1) & ~(CACHE_LINE_BYTES - 1)
             self._level_bases.append(np.asarray(bases, dtype=np.int64))
             self._level_widths.append(np.asarray(widths, dtype=np.int64))
             self._level_heights.append(np.asarray(heights, dtype=np.int64))
+            self._level_blocks_x.append(np.asarray(blocks, dtype=np.int64))
         self.total_bytes = cursor
 
     def texel_addresses(self, tex_index, level, iy, ix) -> np.ndarray:
@@ -143,6 +146,38 @@ class CompressedTextureLayout:
         blocks_x = (w + BLOCK_EDGE - 1) // BLOCK_EDGE
         block = (y // BLOCK_EDGE) * blocks_x + (x // BLOCK_EDGE)
         return bases + block * BLOCK_BYTES
+
+    def footprint_addresses(self, tex_index, level, iu, iv) -> np.ndarray:
+        """Byte addresses of a 2x2 footprint's containing blocks.
+
+        Compressed counterpart of
+        :meth:`TextureLayout.footprint_addresses` — same corner order,
+        bit-identical to :meth:`texel_addresses` on the expanded
+        corners, with the block address split into per-axis byte
+        offsets computed once per sample.
+        """
+        if not 0 <= tex_index < len(self.chains):
+            raise TextureError(f"texture index {tex_index} out of range")
+        level = np.asarray(level, dtype=np.int64)
+        bases = self._level_bases[tex_index][level]
+        w = self._level_widths[tex_index][level]
+        h = self._level_heights[tex_index][level]
+        block_row_bytes = self._level_blocks_x[tex_index][level] << 3
+        iu = np.asarray(iu, dtype=np.int64)
+        iv = np.asarray(iv, dtype=np.int64)
+        x0 = np.mod(iu, w)
+        x1 = np.mod(iu + 1, w)
+        y0 = np.mod(iv, h)
+        y1 = np.mod(iv + 1, h)
+        # addr = base + ((y>>2)*blocks_x + (x>>2)) * 8 splits into
+        # ypart = (y>>2)*blocks_x*8 and xpart = (x>>2)*8.
+        row0 = bases + (y0 >> 2) * block_row_bytes
+        row1 = bases + (y1 >> 2) * block_row_bytes
+        col0 = (x0 >> 2) << 3
+        col1 = (x1 >> 2) << 3
+        return np.stack(
+            [row0 + col0, row0 + col1, row1 + col0, row1 + col1], axis=-1
+        )
 
     @staticmethod
     def line_addresses(byte_addresses: np.ndarray) -> np.ndarray:

@@ -37,6 +37,39 @@ class MipChain:
             levels.append(_box_downsample(levels[-1]))
         #: ``levels[0]`` is the base (finest) level.
         self.levels: "list[np.ndarray]" = levels
+        # Flat-store cache for vectorized gathers (built lazily; the
+        # token invalidates it when ``levels`` is swapped, e.g. by
+        # ``compress_chain`` or a test patching one level in place).
+        self._flat_cache: "tuple | None" = None
+        self._flat_token: "tuple | None" = None
+
+    def flat_store(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """``(flat_texels, bases, widths, heights)`` for indexed gathers.
+
+        ``flat_texels`` is every level's texels concatenated row-major
+        as one ``(total_texels, 4)`` float32 array; texel ``(lv, y, x)``
+        lives at ``bases[lv] + y * widths[lv] + x``. Turning the
+        per-level Python loop of the old gather into one fancy index is
+        the texture unit's main batching win.
+        """
+        token = tuple(id(lv) for lv in self.levels)
+        if self._flat_cache is None or self._flat_token != token:
+            widths = np.asarray([lv.shape[1] for lv in self.levels], dtype=np.int64)
+            heights = np.asarray([lv.shape[0] for lv in self.levels], dtype=np.int64)
+            sizes = widths * heights
+            bases = np.zeros(len(self.levels), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=bases[1:])
+            flat = np.concatenate(
+                [np.asarray(lv, dtype=np.float32).reshape(-1, 4) for lv in self.levels]
+            )
+            self._flat_cache = (flat, bases, widths, heights)
+            self._flat_token = token
+        return self._flat_cache
+
+    def level_dims(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-level ``(widths, heights)`` int64 arrays (index by level)."""
+        _, _, widths, heights = self.flat_store()
+        return widths, heights
 
     @property
     def name(self) -> str:
@@ -67,11 +100,36 @@ class MipChain:
         All three index arrays must share a shape; levels must be valid.
         Returns colors of shape ``(*index_shape, 4)``.
         """
-        level = np.asarray(level)
-        out = np.empty(level.shape + (4,), dtype=np.float32)
-        for lv in np.unique(level):
-            arr = self.levels[int(lv)]
-            h, w = arr.shape[:2]
-            m = level == lv
-            out[m] = arr[np.mod(iy[m], h), np.mod(ix[m], w)]
-        return out
+        return self.gather_flat(self.flat_indices(level, iy, ix))
+
+    def flat_indices(
+        self, level: np.ndarray, iy: np.ndarray, ix: np.ndarray
+    ) -> np.ndarray:
+        """Flat-store indices of (level, y, x) texels (wrap addressing).
+
+        Two texel references alias the same flat index exactly when
+        they name the same physical texel, so these indices double as
+        the dedup identity for batch sample reuse.
+        """
+        _, bases, widths, heights = self.flat_store()
+        level = np.asarray(level, dtype=np.int64)
+        w = widths[level]
+        return (
+            bases[level]
+            + np.mod(np.asarray(iy, dtype=np.int64), heights[level]) * w
+            + np.mod(np.asarray(ix, dtype=np.int64), w)
+        )
+
+    def gather_flat(self, idx: np.ndarray, *, dedup: bool = False) -> np.ndarray:
+        """Texel colors for flat-store indices from :meth:`flat_indices`.
+
+        With ``dedup=True`` duplicate texels are fetched once and
+        broadcast back (sample reuse across overlapping footprints) —
+        worth it only when the batch's duplication ratio is high enough
+        to amortize the sort ``np.unique`` performs.
+        """
+        flat, _, _, _ = self.flat_store()
+        if dedup:
+            unique, inverse = np.unique(idx.reshape(-1), return_inverse=True)
+            return flat[unique][inverse].reshape(idx.shape + (4,))
+        return flat[idx]

@@ -32,7 +32,10 @@ class TrilinearInfo:
 
     ``l0``/``l1`` are the enclosing mip levels; ``iu*``/``iv*`` the
     top-left integer texel of the 2x2 bilinear footprint at each level;
-    ``fu*``/``fv*`` the bilinear fractions and ``lfrac`` the level blend.
+    ``fu*``/``fv*`` the bilinear fractions and ``lfrac`` the level
+    blend. The fractions are float32 — that is the precision the
+    filtering kernels blend in, so storing float64 here only paid
+    conversion and memory-traffic cost.
     """
 
     l0: np.ndarray
@@ -75,60 +78,110 @@ def bilinear_sample(chain: MipChain, level: int, u, v) -> np.ndarray:
     return (top * (1 - fv) + bot * fv).astype(np.float32)
 
 
+def _level_setup(u, v, widths, heights, level):
+    """Bilinear footprints at per-sample mip levels (vectorized).
+
+    Identical arithmetic to :func:`_bilinear_setup`, but the level
+    dimensions come from per-sample lookups into the chain's level-size
+    arrays instead of a Python loop over unique levels with boolean
+    masking — the masked version dominated ``trilinear_info`` time.
+    """
+    tx = u * widths[level] - 0.5
+    ty = v * heights[level] - 0.5
+    iu = np.floor(tx).astype(np.int64)
+    iv = np.floor(ty).astype(np.int64)
+    fu = (tx - iu).astype(np.float32)
+    fv = (ty - iv).astype(np.float32)
+    return iu, iv, fu, fv
+
+
 def trilinear_info(chain: MipChain, u, v, lod) -> TrilinearInfo:
     """Resolve LODs and bilinear footprints for a batch of trilinear samples."""
     lod = np.clip(np.asarray(lod, dtype=np.float64), 0.0, chain.max_level)
     l0 = np.floor(lod).astype(np.int64)
     l1 = np.minimum(l0 + 1, chain.max_level)
-    lfrac = lod - l0
+    lfrac = (lod - l0).astype(np.float32)
 
     shape = np.broadcast(np.asarray(u), lod).shape
     u = np.broadcast_to(np.asarray(u, dtype=np.float64), shape)
     v = np.broadcast_to(np.asarray(v, dtype=np.float64), shape)
-    iu0 = np.empty(shape, dtype=np.int64)
-    iv0 = np.empty(shape, dtype=np.int64)
-    fu0 = np.empty(shape, dtype=np.float64)
-    fv0 = np.empty(shape, dtype=np.float64)
-    iu1 = np.empty(shape, dtype=np.int64)
-    iv1 = np.empty(shape, dtype=np.int64)
-    fu1 = np.empty(shape, dtype=np.float64)
-    fv1 = np.empty(shape, dtype=np.float64)
-    for lv in np.unique(np.stack([l0, l1])):
-        w, h = chain.level_size(int(lv))
-        m0 = l0 == lv
-        if m0.any():
-            iu0[m0], iv0[m0], fu0[m0], fv0[m0] = _bilinear_setup(u[m0], v[m0], w, h)
-        m1 = l1 == lv
-        if m1.any():
-            iu1[m1], iv1[m1], fu1[m1], fv1[m1] = _bilinear_setup(u[m1], v[m1], w, h)
+    widths, heights = chain.level_dims()
+    iu0, iv0, fu0, fv0 = _level_setup(u, v, widths, heights, l0)
+    iu1, iv1, fu1, fv1 = _level_setup(u, v, widths, heights, l1)
     return TrilinearInfo(
         l0=l0, l1=l1, iu0=iu0, iv0=iv0, fu0=fu0, fv0=fv0,
         iu1=iu1, iv1=iv1, fu1=fu1, fv1=fv1, lfrac=lfrac,
     )
 
 
-def _bilerp_from_info(chain: MipChain, level, iu, iv, fu, fv) -> np.ndarray:
-    c00 = chain.gather(level, iv, iu)
-    c10 = chain.gather(level, iv, iu + 1)
-    c01 = chain.gather(level, iv + 1, iu)
-    c11 = chain.gather(level, iv + 1, iu + 1)
-    fu = np.asarray(fu, dtype=np.float32)[..., None]
-    fv = np.asarray(fv, dtype=np.float32)[..., None]
-    top = c00 * (1 - fu) + c10 * fu
-    bot = c01 * (1 - fu) + c11 * fu
-    return top * (1 - fv) + bot * fv
+def _level_flat_indices(chain: MipChain, level, iu, iv) -> np.ndarray:
+    """Flat-store indices of one level's 2x2 footprint, corner-major.
+
+    Corner order matches :func:`texel_coords_from_info`:
+    ``(iv, iu), (iv, iu+1), (iv+1, iu), (iv+1, iu+1)``. The wrap mods
+    are computed once per axis and combined, instead of once per corner.
+    """
+    _, bases, widths, heights = chain.flat_store()
+    w = widths[level]
+    h = heights[level]
+    x0 = np.mod(iu, w)
+    x1 = np.mod(iu + 1, w)
+    row0 = bases[level] + np.mod(iv, h) * w
+    row1 = bases[level] + np.mod(iv + 1, h) * w
+    return np.stack(
+        [row0 + x0, row0 + x1, row1 + x0, row1 + x1], axis=-1
+    )
+
+
+def sample_flat_indices(chain: MipChain, info: TrilinearInfo) -> np.ndarray:
+    """Flat-store indices of all 8 texels of each trilinear sample.
+
+    Shape ``(*sample_shape, 8)``: the ``l0`` 2x2 footprint followed by
+    the ``l1`` footprint, in :func:`texel_coords_from_info` order.
+    """
+    return np.concatenate(
+        [
+            _level_flat_indices(chain, info.l0, info.iu0, info.iv0),
+            _level_flat_indices(chain, info.l1, info.iu1, info.iv1),
+        ],
+        axis=-1,
+    )
+
+
+def _blend_gathered(info: TrilinearInfo, g: np.ndarray) -> np.ndarray:
+    """Trilinear blend of pre-gathered ``(*shape, 8, 4)`` texel colors."""
+    fu0 = np.asarray(info.fu0, dtype=np.float32)[..., None]
+    fv0 = np.asarray(info.fv0, dtype=np.float32)[..., None]
+    top = g[..., 0, :] * (1 - fu0) + g[..., 1, :] * fu0
+    bot = g[..., 2, :] * (1 - fu0) + g[..., 3, :] * fu0
+    c0 = top * (1 - fv0) + bot * fv0
+    fu1 = np.asarray(info.fu1, dtype=np.float32)[..., None]
+    fv1 = np.asarray(info.fv1, dtype=np.float32)[..., None]
+    top = g[..., 4, :] * (1 - fu1) + g[..., 5, :] * fu1
+    bot = g[..., 6, :] * (1 - fu1) + g[..., 7, :] * fu1
+    c1 = top * (1 - fv1) + bot * fv1
+    lf = np.asarray(info.lfrac, dtype=np.float32)[..., None]
+    return (c0 * (1 - lf) + c1 * lf).astype(np.float32)
 
 
 def trilinear_sample(
-    chain: MipChain, u, v, lod, info: "TrilinearInfo | None" = None
+    chain: MipChain,
+    u,
+    v,
+    lod,
+    info: "TrilinearInfo | None" = None,
+    *,
+    dedup: bool = False,
 ) -> np.ndarray:
-    """Trilinearly sample the chain; optionally reuse precomputed info."""
+    """Trilinearly sample the chain; optionally reuse precomputed info.
+
+    ``dedup=True`` fetches each distinct texel of the batch once
+    (sample reuse across overlapping footprints) before blending.
+    """
     if info is None:
         info = trilinear_info(chain, u, v, lod)
-    c0 = _bilerp_from_info(chain, info.l0, info.iu0, info.iv0, info.fu0, info.fv0)
-    c1 = _bilerp_from_info(chain, info.l1, info.iu1, info.iv1, info.fu1, info.fv1)
-    lf = np.asarray(info.lfrac, dtype=np.float32)[..., None]
-    return (c0 * (1 - lf) + c1 * lf).astype(np.float32)
+    g = chain.gather_flat(sample_flat_indices(chain, info), dedup=dedup)
+    return _blend_gathered(info, g)
 
 
 def footprint_keys_from_info(info: TrilinearInfo) -> np.ndarray:
@@ -150,8 +203,33 @@ def footprint_keys_from_info(info: TrilinearInfo) -> np.ndarray:
 
 
 def trilinear_footprint_keys(chain: MipChain, u, v, lod) -> np.ndarray:
-    """Footprint keys for trilinear samples at (u, v, lod)."""
-    return footprint_keys_from_info(trilinear_info(chain, u, v, lod))
+    """Footprint keys for trilinear samples at (u, v, lod).
+
+    Computes only the integer footprint state the key packs — no
+    bilinear fractions, no texel gathers — so a key-only pass (the AF
+    sharing statistics take one per constituent sample) costs a
+    fraction of a full :func:`trilinear_info`. Produces bit-identical
+    keys to ``footprint_keys_from_info(trilinear_info(...))``.
+    """
+    lod = np.clip(np.asarray(lod, dtype=np.float64), 0.0, chain.max_level)
+    l0 = np.floor(lod).astype(np.int64)
+    l1 = np.minimum(l0 + 1, chain.max_level)
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    widths, heights = chain.level_dims()
+    iu0 = np.floor(u * widths[l0] - 0.5).astype(np.int64)
+    iv0 = np.floor(v * heights[l0] - 0.5).astype(np.int64)
+    iu1 = np.floor(u * widths[l1] - 0.5).astype(np.int64)
+    iv1 = np.floor(v * heights[l1] - 0.5).astype(np.int64)
+    key = l0
+    for part in (
+        iu0 & _COORD_MASK,
+        iv0 & _COORD_MASK,
+        iu1 & _COORD_MASK,
+        iv1 & _COORD_MASK,
+    ):
+        key = (key << _COORD_BITS) | part
+    return key
 
 
 def unpack_footprint_key(key):

@@ -26,10 +26,10 @@ from ..errors import TextureError
 from ..obs import TELEMETRY
 from ..resilience.faults import FAULTS
 from .addressing import TextureLayout
-from .anisotropic import anisotropic_filter
-from .footprint import FootprintInfo, compute_footprints
+from .anisotropic import anisotropic_filter_batch
+from .footprint import compute_footprints
 from .mipmap import MipChain
-from .sampler import texel_coords_from_info, trilinear_info, trilinear_sample
+from .sampler import trilinear_info, trilinear_sample
 
 #: Texels touched by one trilinear sample (2x2 at each of two levels).
 TEXELS_PER_TRILINEAR = 8
@@ -67,9 +67,19 @@ class FilteredBatch:
 class TextureUnit:
     """Filters fragment batches against one texture's mip chain."""
 
-    def __init__(self, layout: TextureLayout, *, max_aniso: int = 16) -> None:
+    def __init__(
+        self,
+        layout: TextureLayout,
+        *,
+        max_aniso: int = 16,
+        dedup_gathers: bool = False,
+    ) -> None:
         self.layout = layout
         self.max_aniso = max_aniso
+        #: Fetch each distinct texel once per AF batch (sample reuse).
+        #: Off by default: the np.unique sort only pays for itself on
+        #: batches with very high footprint overlap.
+        self.dedup_gathers = dedup_gathers
 
     def filter_batch(
         self,
@@ -105,32 +115,22 @@ class TextureUnit:
             tf_lines = self._lines_from_info(tex_index, tf_info)
             tf_af_lod_lines = self._lines_from_info(tex_index, tfa_info)
 
-        # Anisotropic variant, grouped by N for dense kernels.
+        # Anisotropic variant: all N groups fused into one flat CSR
+        # kernel pass (the flat sample order *is* the CSR value order,
+        # so no per-group slot scatter remains).
         row_ptr = np.zeros(count + 1, dtype=np.int64)
         np.cumsum(fp.n, out=row_ptr[1:])
         total = int(row_ptr[-1])
-        af_color = np.empty((count, 4), dtype=np.float32)
-        sample_keys = np.empty(total, dtype=np.int64)
-        af_lines = np.empty(total * TEXELS_PER_TRILINEAR, dtype=np.int64)
 
         with TELEMETRY.span("texture.anisotropic", samples=total):
-            for n_value in np.unique(fp.n):
-                n_value = int(n_value)
-                mask = fp.n == n_value
-                result = anisotropic_filter(chain, u, v, fp, mask, n_value)
-                af_color[mask] = result.color
-                rows = np.nonzero(mask)[0]
-                # Sample slots for these fragments in the CSR value arrays.
-                slots = row_ptr[rows][:, None] + np.arange(n_value)[None, :]
-                sample_keys[slots.ravel()] = result.sample_keys.ravel()
-                levels, iy, ix = result.texel_coords()
-                addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
-                lines = TextureLayout.line_addresses(addrs)
-                line_slots = (
-                    slots.reshape(-1)[:, None] * TEXELS_PER_TRILINEAR
-                    + np.arange(TEXELS_PER_TRILINEAR)[None, :]
-                )
-                af_lines[line_slots.ravel()] = lines.reshape(-1)
+            result = anisotropic_filter_batch(
+                chain, u, v, fp, row_ptr, dedup=self.dedup_gathers
+            )
+            af_color = result.color
+            sample_keys = result.sample_keys
+            af_lines = self._lines_from_info(
+                tex_index, result.sample_info
+            ).reshape(-1)
 
         if FAULTS.enabled:
             # Injected hardware faults: garbage texels in the filtered
@@ -177,7 +177,21 @@ class TextureUnit:
         )
 
     def _lines_from_info(self, tex_index: int, info) -> np.ndarray:
-        """Cache-line addresses of the 8 texels of each trilinear sample."""
-        levels, iy, ix = texel_coords_from_info(info)
-        addrs = self.layout.texel_addresses(tex_index, levels, iy, ix)
+        """Cache-line addresses of the 8 texels of each trilinear sample.
+
+        Uses the layout's per-footprint address kernel (wrap mods and
+        tile math once per 2x2 footprint, not per texel); the 8-texel
+        order matches :func:`~repro.texture.sampler.texel_coords_from_info`.
+        """
+        addrs = np.concatenate(
+            [
+                self.layout.footprint_addresses(
+                    tex_index, info.l0, info.iu0, info.iv0
+                ),
+                self.layout.footprint_addresses(
+                    tex_index, info.l1, info.iu1, info.iv1
+                ),
+            ],
+            axis=-1,
+        )
         return TextureLayout.line_addresses(addrs)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.claims import Claim, PAPER_CLAIMS, evaluate_claims
+from repro.analysis.claims import PAPER_CLAIMS, evaluate_claims
 from repro.analysis.report import build_report, run_all
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentContext, ExperimentResult

@@ -14,7 +14,6 @@ from repro.core.scenarios import SCENARIOS
 from repro.renderer.session import RenderSession
 from repro.study.users import UserStudy
 from repro.workloads.proctex import fbm_noise
-from repro.workloads.scene import Workload
 
 
 class TestContentDeterminism:

@@ -5,7 +5,6 @@ on real (but small-scale) Table II workloads, and assert the paper's
 headline *relationships* hold end to end.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

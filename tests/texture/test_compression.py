@@ -10,7 +10,6 @@ from repro.texture.compression import (
     CompressedTextureLayout,
     compress_chain,
     compress_level,
-    compress_texture,
     compression_error,
 )
 from repro.texture.image import Texture2D

@@ -1,0 +1,98 @@
+"""Equivalence tests for the separable 2x2 footprint address kernels.
+
+``footprint_addresses`` factors the tiled (or block-compressed)
+address into independent x/y byte offsets so the wrap mods and tile
+splits run once per axis; these tests pin it bit-identical to
+``texel_addresses`` over the four expanded corners, for both layouts,
+including wrap at the texture edge, non-square shapes, and the tiny
+tail levels of a mip chain (where wrap actually bites).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.texture.addressing import TextureLayout
+from repro.texture.compression import CompressedTextureLayout
+from repro.texture.image import Texture2D
+from repro.texture.mipmap import MipChain
+
+
+def _chains(sizes):
+    rng = np.random.default_rng(3)
+    return [
+        MipChain(Texture2D(f"t{i}", rng.random((h, w, 4))))
+        for i, (h, w) in enumerate(sizes)
+    ]
+
+
+def _expanded_corners(layout, tex_index, level, iu, iv):
+    """texel_addresses over the four corners, in footprint order."""
+    corners = [(iv, iu), (iv, iu + 1), (iv + 1, iu), (iv + 1, iu + 1)]
+    return np.stack(
+        [layout.texel_addresses(tex_index, level, y, x) for y, x in corners],
+        axis=-1,
+    )
+
+
+def _assert_equivalent(layout, chains):
+    rng = np.random.default_rng(17)
+    for tex_index, chain in enumerate(chains):
+        for level in range(chain.max_level + 1):
+            w = chain.levels[level].shape[1]
+            h = chain.levels[level].shape[0]
+            # Dense interior plus the wrap-critical last row/column.
+            iu = np.concatenate([rng.integers(0, w, 64), [w - 1, w - 1]])
+            iv = np.concatenate([rng.integers(0, h, 64), [h - 1, 0]])
+            lv = np.full(iu.shape, level, dtype=np.int64)
+            got = layout.footprint_addresses(tex_index, lv, iu, iv)
+            want = _expanded_corners(layout, tex_index, lv, iu, iv)
+            assert np.array_equal(got, want), (tex_index, level)
+
+
+class TestTiledLayout:
+    def test_matches_texel_addresses_everywhere(self):
+        chains = _chains([(64, 64), (32, 8), (4, 16)])
+        _assert_equivalent(TextureLayout(chains), chains)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        w_log=st.integers(0, 6),
+        h_log=st.integers(0, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_matches_on_arbitrary_shapes(self, w_log, h_log, seed):
+        chains = _chains([(1 << h_log, 1 << w_log)])
+        layout = TextureLayout(chains)
+        rng = np.random.default_rng(seed)
+        level = rng.integers(0, chains[0].max_level + 1)
+        lw = chains[0].levels[level].shape[1]
+        lh = chains[0].levels[level].shape[0]
+        iu = rng.integers(0, lw, 16)
+        iv = rng.integers(0, lh, 16)
+        lv = np.full(16, level, dtype=np.int64)
+        got = layout.footprint_addresses(0, lv, iu, iv)
+        want = _expanded_corners(layout, 0, lv, iu, iv)
+        assert np.array_equal(got, want)
+
+
+class TestCompressedLayout:
+    def test_matches_texel_addresses_everywhere(self):
+        chains = _chains([(64, 64), (32, 8), (4, 16)])
+        _assert_equivalent(CompressedTextureLayout(chains), chains)
+
+    def test_mixed_levels_in_one_call(self):
+        chains = _chains([(64, 64)])
+        layout = CompressedTextureLayout(chains)
+        rng = np.random.default_rng(5)
+        levels = rng.integers(0, chains[0].max_level + 1, 128)
+        dims_w = np.asarray(
+            [chains[0].levels[lv].shape[1] for lv in levels]
+        )
+        dims_h = np.asarray(
+            [chains[0].levels[lv].shape[0] for lv in levels]
+        )
+        iu = rng.integers(0, 1 << 16, 128) % dims_w
+        iv = rng.integers(0, 1 << 16, 128) % dims_h
+        got = layout.footprint_addresses(0, levels, iu, iv)
+        want = _expanded_corners(layout, 0, levels, iu, iv)
+        assert np.array_equal(got, want)

@@ -8,7 +8,6 @@ from repro.core.patu import PerceptionAwareTextureUnit
 from repro.core.scenarios import BASELINE, PATU
 from repro.errors import PipelineError
 from repro.timing.pipeline_sim import (
-    PipelineTrace,
     QuadWork,
     TexturePipelineSimulator,
     quads_from_decision,

@@ -54,7 +54,7 @@ def test_verify_quick_end_to_end_and_golden_idempotency(tmp_path, capsys):
             "--report", str(tmp_path / "r.json")]
     # First update generates every golden...
     assert main(args + ["--update-goldens"]) == 0
-    first = capsys.readouterr()
+    capsys.readouterr()  # drain; only the second run's output matters
     manifest = (goldens / "manifest.json").read_bytes()
     # ...the second is a byte-level no-op (acceptance criterion)...
     assert main(args + ["--update-goldens"]) == 0

@@ -2,8 +2,6 @@
 
 import json
 
-import numpy as np
-import pytest
 
 from repro.verify.goldens import (
     GOLDEN_EXPERIMENTS,

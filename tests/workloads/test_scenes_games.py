@@ -7,7 +7,6 @@ from repro.errors import WorkloadError
 from repro.geometry.mesh import make_box
 from repro.workloads.games import (
     GAME_WORKLOADS,
-    TABLE2_ROWS,
     get_workload,
     workload_names,
 )

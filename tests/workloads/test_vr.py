@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.workloads.games import get_workload
-from repro.workloads.vr import DEFAULT_IPD, vr_workload
+from repro.workloads.vr import vr_workload
 
 
 class TestStereoConstruction:
