@@ -11,9 +11,12 @@ Results go to ``bench_results/hotpath.json``. The file carries two
 sections: ``spans`` (the latest run) and ``baseline`` (a pinned earlier
 run, recorded with ``--record-baseline``); when both are present the
 per-span ``speedup_vs_baseline`` ratios are computed and printed. A
-``calibration_ms`` machine-speed token (a fixed seeded numpy workload)
-is stored alongside so ``benchmarks/compare.py --calibrate`` can diff
-runs from differently-sized machines.
+``calibration_ms`` machine-speed token (``repro.obs.machine``, shared
+with the run ledger) is stored alongside so
+``benchmarks/compare.py --calibrate`` can diff runs from
+differently-sized machines. Each run also appends a ``hotpath`` record
+to the persistent run ledger (``--ledger DIR`` / ``--no-ledger``), so
+``repro trends --check`` gates span times against their history.
 
 Usage::
 
@@ -31,7 +34,6 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import time
 
 import numpy as np
@@ -75,29 +77,6 @@ def _fragments(rng: np.random.Generator, count: int):
     degenerate = rng.random(count) < 0.02
     d[degenerate, 2:] = 0.0
     return u, v, d[:, 0], d[:, 1], d[:, 2], d[:, 3]
-
-
-def calibration_token(seed: int = 0) -> float:
-    """Milliseconds for a fixed seeded numpy workload (machine speed).
-
-    Used by ``compare.py --calibrate`` to scale wall-clock numbers
-    recorded on one machine before comparing against another. The
-    workload mixes the primitives the kernels lean on: fancy gathers,
-    a sort, and float blends.
-    """
-    rng = np.random.default_rng(seed)
-    data = rng.random((512, 512)).astype(np.float32)
-    idx = rng.integers(0, data.size, 200_000)
-    best = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        flat = data.ravel()
-        g = flat[idx]
-        order = np.argsort(idx, kind="stable")
-        acc = g[order] * 0.25 + np.roll(g, 1) * 0.75
-        float(acc.sum())
-        best = min(best, time.perf_counter() - t0)
-    return best * 1e3
 
 
 def run_once(unit, frags, telemetry) -> "dict[str, float]":
@@ -146,17 +125,6 @@ def measure(args) -> "dict[str, object]":
     }
 
 
-def machine_info() -> "dict[str, object]":
-    import os
-
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpu_count": os.cpu_count(),
-    }
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fragments", type=int, default=16384)
@@ -169,13 +137,19 @@ def main(argv=None) -> int:
     parser.add_argument("--record-baseline", action="store_true",
                         help="pin this run as the baseline section")
     parser.add_argument("--out", default=str(RESULTS_PATH))
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="run-ledger directory (default .repro/ledger)")
+    parser.add_argument("--no-ledger", action="store_true", dest="no_ledger",
+                        help="skip appending a run record to the ledger")
     args = parser.parse_args(argv)
     if args.quick:
         args.fragments = min(args.fragments, 4096)
         args.repeats = min(args.repeats, 3)
 
     from repro.ioutil import atomic_write_text
+    from repro.obs.machine import calibration_token, machine_info
 
+    started = time.perf_counter()
     measured = measure(args)
     payload = {
         "benchmark": "hotpath",
@@ -227,6 +201,31 @@ def main(argv=None) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if not args.no_ledger:
+        # Feed the same per-span numbers into the persistent run
+        # ledger, so `repro trends` gates hotpath regressions with the
+        # median±MAD history instead of a single pinned baseline.
+        from repro.obs import append_record, build_record
+
+        try:
+            record = build_record(
+                "hotpath",
+                command="benchmarks/hotpath.py",
+                config=dict(payload["params"]),
+                duration_s=time.perf_counter() - started,
+                exit_status=0,
+                metrics={
+                    f"stage_ms.{name}": entry["best_ms"]
+                    for name, entry in payload["spans"].items()
+                },
+                calibration_ms=payload["calibration_ms"],
+            )
+            path = append_record(record, args.ledger)
+        except Exception as exc:  # noqa: BLE001 — the bench itself passed
+            print(f"warning: could not append ledger record: {exc}")
+        else:
+            print(f"ledger: hotpath record appended to {path}")
     return 0
 
 

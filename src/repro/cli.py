@@ -16,6 +16,15 @@ Subcommands:
 * ``verify`` — run the differential/metamorphic/golden oracle suite
   (``docs/testing.md``), print the per-oracle table and write a JSON
   report; ``--update-goldens`` regenerates changed golden artifacts.
+* ``trends`` — analyze the persistent run ledger: compare each
+  metric's newest value against a median±MAD band over comparable
+  past runs; ``--check`` exits nonzero on flagged regressions.
+
+``experiment``/``report``/``profile``/``verify`` append one
+schema-versioned record per run to the run ledger (default
+``.repro/ledger``, override with ``--ledger DIR``, suppress with
+``--no-ledger``) — the history ``trends`` analyzes. See
+``docs/observability.md``.
 
 ``experiment``/``render``/``compare``/``report`` accept ``--trace`` and
 ``--metrics`` to capture the same artifacts for any run, and
@@ -42,6 +51,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
 import numpy as np
 
@@ -51,7 +61,19 @@ from .errors import ReproError, WorkloadError
 from .experiments import REGISTRY, ExperimentContext
 from .experiments.runner import DEFAULT_WORKLOADS, format_table, run_experiment
 from .ioutil import atomic_write_text
-from .obs import TELEMETRY, write_chrome_trace, write_metrics_jsonl
+from .obs import (
+    TELEMETRY,
+    append_record,
+    build_record,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .obs.trends import (
+    DEFAULT_EXACT_FLOOR,
+    DEFAULT_K,
+    DEFAULT_TIME_FLOOR,
+    DEFAULT_WINDOW,
+)
 from .resilience import FAULTS, FaultPlan
 from .quality.imageio import write_pgm, write_ppm
 from .quality.ssim import ssim_map
@@ -84,6 +106,87 @@ def _engine_end(ctx: ExperimentContext) -> None:
     stats = ctx.capture_store_stats()
     if stats is not None:
         _info(f"capture store: {stats}")
+        _note(store={
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "writes": stats.writes,
+        })
+
+
+# -- run ledger (see repro.obs.ledger) ---------------------------------
+
+#: CLI commands that append a ledger record, mapped to the record kind.
+_LEDGER_KINDS = {
+    "experiment": "experiment",
+    "report": "report",
+    "profile": "profile",
+    "verify": "verify",
+}
+
+#: Parsed-args entries that change where artifacts land but not what
+#: the run computes — excluded from the ledger's config digest so
+#: re-runs into different output paths stay trend-comparable.
+_NON_SHAPING_ARGS = frozenset({
+    "command", "out", "plot", "trace", "metrics", "emit_metrics",
+    "verbose", "ledger", "no_ledger", "capture_cache", "checkpoint",
+    "resume", "report", "quality_maps",
+})
+
+#: Facts a handler stashes for the ledger record written in ``main``'s
+#: finally block (currently: capture-store traffic).
+_RUN_NOTES: "dict[str, object]" = {}
+
+
+def _note(**fields) -> None:
+    _RUN_NOTES.update(fields)
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="run-ledger directory (default .repro/ledger)")
+    parser.add_argument("--no-ledger", action="store_true", dest="no_ledger",
+                        help="skip appending a run record to the ledger")
+
+
+def _ledger_active(args) -> bool:
+    return (
+        getattr(args, "command", None) in _LEDGER_KINDS
+        and not getattr(args, "no_ledger", False)
+    )
+
+
+def _ledger_config(args) -> "dict[str, object]":
+    return {
+        name: value
+        for name, value in sorted(vars(args).items())
+        if name not in _NON_SHAPING_ARGS
+    }
+
+
+def _ledger_end(args, argv, rc: int, started: float) -> None:
+    """Append this run's record to the ledger (never fails the run)."""
+    if not _ledger_active(args):
+        return
+    kind = _LEDGER_KINDS[args.command]
+    command = "repro " + " ".join(
+        argv if argv is not None else sys.argv[1:]
+    )
+    try:
+        record = build_record(
+            kind,
+            command=command,
+            config=_ledger_config(args),
+            duration_s=time.perf_counter() - started,
+            exit_status=rc,
+            telemetry=TELEMETRY if TELEMETRY.enabled else None,
+            store=_RUN_NOTES.get("store"),
+        )
+        path = append_record(record, getattr(args, "ledger", None))
+    except Exception as exc:  # noqa: BLE001 — the run itself succeeded
+        print(f"warning: could not append ledger record: {exc}",
+              file=sys.stderr)
+        return
+    _info(f"ledger: {kind} record appended to {path}")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -166,8 +269,18 @@ def _metrics_path(args) -> "str | None":
 
 
 def _obs_begin(args) -> None:
-    """Arm telemetry / progress reporting from the parsed flags."""
-    if getattr(args, "trace", None) or _metrics_path(args):
+    """Arm telemetry / progress reporting from the parsed flags.
+
+    A pending ledger record also arms telemetry: its rollups (stage
+    times, counters, quality histograms, per-worker attribution) are
+    the record's payload. Stdout output never depends on telemetry,
+    so tables stay byte-identical either way.
+    """
+    if (
+        getattr(args, "trace", None)
+        or _metrics_path(args)
+        or _ledger_active(args)
+    ):
         TELEMETRY.reset()
         TELEMETRY.enabled = True
     if getattr(args, "verbose", False):
@@ -456,6 +569,8 @@ def _cmd_profile(args) -> int:
     scenario = get_scenario(args.scenario)
     session = RenderSession(scale=args.scale)
     store = CaptureStore(args.capture_cache) if args.capture_cache else None
+    want_maps = getattr(args, "quality_maps", None)
+    map_files = 0
     with TELEMETRY.span(
         "profile", workload=workload.name, frames=args.frames
     ):
@@ -472,14 +587,49 @@ def _cmd_profile(args) -> int:
                 capture = session.capture_frame(workload, frame)
                 if store is not None:
                     store.put(spec, capture)
-            session.evaluate(capture, scenario, args.threshold)
+            result = session.evaluate(
+                capture, scenario, args.threshold,
+                store_image=want_maps is not None,
+            )
+            if want_maps and result.luminance is not None:
+                from .quality.heatmap import export_quality_maps
+
+                paths = export_quality_maps(
+                    capture, result.luminance, want_maps,
+                    scenario=scenario.name, threshold=args.threshold,
+                )
+                map_files += len(paths)
     print(f"== profile: {workload.name} x{args.frames} frame(s), "
           f"scenario {scenario.name} @ {args.threshold:g}, "
           f"scale {args.scale:g} ==\n")
     print(TELEMETRY.format_summary())
+    if want_maps:
+        _info(f"wrote {map_files} quality-map file(s) to {want_maps}")
     if store is not None:
         _info(f"capture store: {store.stats}")
+        _note(store={
+            "hits": store.stats.hits,
+            "misses": store.stats.misses,
+            "writes": store.stats.writes,
+        })
     return 0
+
+
+def _cmd_trends(args) -> int:
+    """Analyze the run ledger for metric regressions."""
+    from .obs import analyze_ledger
+
+    report = analyze_ledger(
+        args.ledger,
+        k=args.k,
+        window=args.window,
+        time_floor=args.time_floor,
+        exact_floor=args.exact_floor,
+        kind=args.kind,
+        metric_filter=args.metric,
+    )
+    print(report.format(only_flagged=args.only_flagged), end="")
+    return 1 if args.check and report.regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -504,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_args(p_exp)
     _add_engine_args(p_exp)
     _add_obs_args(p_exp)
+    _add_ledger_args(p_exp)
     _add_checkpoint_args(p_exp)
     _add_fault_args(p_exp)
 
@@ -533,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_args(p_rep)
     _add_engine_args(p_rep)
     _add_obs_args(p_rep)
+    _add_ledger_args(p_rep)
     _add_checkpoint_args(p_rep)
     _add_fault_args(p_rep)
 
@@ -559,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--list", action="store_true", dest="list_oracles",
                        help="list registered oracles and exit")
     _add_obs_args(p_ver)
+    _add_ledger_args(p_ver)
 
     p_prof = sub.add_parser(
         "profile", help="render frames with telemetry, export trace + metrics"
@@ -579,7 +732,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-frame metrics output (default metrics.jsonl)")
     p_prof.add_argument("--verbose", action="store_true",
                         help="per-stage progress lines on stderr")
+    p_prof.add_argument("--quality-maps", metavar="DIR", default=None,
+                        dest="quality_maps",
+                        help="write per-frame AF-SSIM heatmaps here "
+                             "(npz + png per frame)")
+    _add_ledger_args(p_prof)
     _add_fault_args(p_prof)
+
+    p_tr = sub.add_parser(
+        "trends",
+        help="analyze the run ledger: flag metrics leaving their trend band",
+    )
+    p_tr.add_argument("--ledger", metavar="DIR", default=None,
+                      help="ledger directory (default .repro/ledger)")
+    p_tr.add_argument("--kind", default=None,
+                      help="only analyze records of this kind (experiment, "
+                           "report, profile, verify, hotpath)")
+    p_tr.add_argument("--metric", default=None, metavar="SUBSTR",
+                      help="only metrics whose name contains SUBSTR")
+    p_tr.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                      metavar="N",
+                      help=f"baseline uses at most the last N comparable "
+                           f"runs (default {DEFAULT_WINDOW})")
+    p_tr.add_argument("--k", type=float, default=DEFAULT_K,
+                      help=f"MAD multiplier of the trend band "
+                           f"(default {DEFAULT_K:g}, ~4 sigma)")
+    p_tr.add_argument("--time-floor", type=float, dest="time_floor",
+                      default=DEFAULT_TIME_FLOOR, metavar="FRAC",
+                      help=f"relative band floor for wall-clock metrics "
+                           f"(default {DEFAULT_TIME_FLOOR:g})")
+    p_tr.add_argument("--exact-floor", type=float, dest="exact_floor",
+                      default=DEFAULT_EXACT_FLOOR, metavar="FRAC",
+                      help=f"relative band floor for deterministic metrics "
+                           f"(default {DEFAULT_EXACT_FLOOR:g})")
+    p_tr.add_argument("--check", action="store_true",
+                      help="exit 1 when any metric regressed")
+    p_tr.add_argument("--only-flagged", action="store_true",
+                      dest="only_flagged",
+                      help="print flagged metrics only")
 
     return parser
 
@@ -594,7 +784,10 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "profile": _cmd_profile,
         "verify": _cmd_verify,
+        "trends": _cmd_trends,
     }
+    started = time.perf_counter()
+    _RUN_NOTES.clear()
     _obs_begin(args)
     _faults_begin(args)
     rc = 0
@@ -613,6 +806,9 @@ def main(argv=None) -> int:
         rc = 0
     finally:
         _faults_end(args)
+        # The ledger record must capture telemetry before _obs_end
+        # disarms it.
+        _ledger_end(args, argv, rc, started)
         if not _obs_end(args):
             rc = rc or 1
     return rc

@@ -112,7 +112,7 @@ class CaptureStore:
         path = self.path_for(spec)
         if not path.exists():
             self.stats.misses += 1
-            TELEMETRY.count("capture_store.misses")
+            TELEMETRY.count("store.misses")
             return None
         try:
             capture = capture_from_npz_bytes(path.read_bytes())
@@ -121,10 +121,10 @@ class CaptureStore:
             # caller re-renders and put() replaces the bad file.
             TELEMETRY.progress(f"capture store: dropping bad entry {path.name}: {exc}")
             self.stats.misses += 1
-            TELEMETRY.count("capture_store.misses")
+            TELEMETRY.count("store.misses")
             return None
         self.stats.hits += 1
-        TELEMETRY.count("capture_store.hits")
+        TELEMETRY.count("store.hits")
         return capture
 
     def put(self, spec: "dict[str, object]", capture: FrameCapture) -> pathlib.Path:
@@ -139,7 +139,7 @@ class CaptureStore:
         path = self.path_for(spec)
         atomic_write_bytes(path, capture_to_npz_bytes(capture, compress=False))
         self.stats.writes += 1
-        TELEMETRY.count("capture_store.writes")
+        TELEMETRY.count("store.writes")
         return path
 
     def __len__(self) -> int:

@@ -277,6 +277,10 @@ class Engine:
         # Parked captures rendered by the capture wave satisfy the
         # original capture-kind jobs; aggregation loads them lazily
         # from the store.
+        worker_lines = TELEMETRY.format_worker_summary()
+        if worker_lines:
+            for line in worker_lines.splitlines():
+                TELEMETRY.progress(f"pool: {line}")
 
     def _affine_chunks(self, wave: "list[tuple]") -> "list[list[tuple]]":
         """Split a wave into dispatch chunks with capture affinity.

@@ -53,6 +53,20 @@ class JobError(ExperimentError):
         self.error_type = error_type
 
 
+class SchemaError(ReproError):
+    """A schema-versioned artifact has an unknown or unsupported major.
+
+    Raised by readers of ``metrics.jsonl``, Chrome-trace exports and
+    run-ledger records when the embedded ``schema`` field names a major
+    version this build does not understand. Readers never guess: a
+    record written by a future layout is rejected, not misparsed.
+    """
+
+
+class LedgerError(ReproError):
+    """The persistent run ledger is unreadable or was driven wrongly."""
+
+
 class ResilienceError(ReproError):
     """Base class for fault-handling and degradation failures.
 

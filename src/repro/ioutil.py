@@ -37,6 +37,32 @@ def atomic_write_text(
     )
 
 
+def atomic_append_text(
+    path,
+    text: str,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> pathlib.Path:
+    """Append ``text`` to ``path`` with the same crash guarantees.
+
+    The existing content (if any) is read, the suffix concatenated and
+    the whole file atomically replaced — readers see either the old
+    file or old + appended text, never a torn tail. Used by the run
+    ledger, whose records are small and infrequent enough that the
+    read-modify-replace cost never matters.
+    """
+    path = pathlib.Path(path)
+    try:
+        existing = path.read_bytes()
+    except FileNotFoundError:
+        existing = b""
+    return atomic_write_bytes(
+        path, existing + text.encode("utf-8"),
+        retries=retries, backoff_s=backoff_s,
+    )
+
+
 def atomic_write_bytes(
     path,
     data: bytes,

@@ -15,7 +15,24 @@ Telemetry is off by default; ``python -m repro profile`` and the
 convention and the export formats.
 """
 
-from .jsonl import jsonable, read_metrics_jsonl, write_metrics_jsonl
+from .jsonl import (
+    METRICS_SCHEMA,
+    check_schema,
+    jsonable,
+    read_metrics_jsonl,
+    write_metrics_jsonl,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    append_record,
+    build_record,
+    config_digest,
+    default_ledger_dir,
+    ledger_path,
+    read_ledger,
+    validate_record,
+)
+from .machine import calibration_token, git_revision, machine_info
 from .metrics import (
     Counter,
     Gauge,
@@ -24,22 +41,46 @@ from .metrics import (
     validate_metric_name,
 )
 from .telemetry import NOOP_SPAN, SpanRecord, Telemetry, TELEMETRY, get_telemetry
-from .trace import trace_events, write_chrome_trace
+from .trace import (
+    TRACE_SCHEMA,
+    read_chrome_trace,
+    trace_events,
+    write_chrome_trace,
+)
+from .trends import TrendReport, analyze_ledger, analyze_records
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
+    "METRICS_SCHEMA",
     "MetricRegistry",
     "NOOP_SPAN",
     "SpanRecord",
     "TELEMETRY",
+    "TRACE_SCHEMA",
     "Telemetry",
+    "TrendReport",
+    "analyze_ledger",
+    "analyze_records",
+    "append_record",
+    "build_record",
+    "calibration_token",
+    "check_schema",
+    "config_digest",
+    "default_ledger_dir",
     "get_telemetry",
+    "git_revision",
     "jsonable",
+    "ledger_path",
+    "machine_info",
+    "read_chrome_trace",
+    "read_ledger",
     "read_metrics_jsonl",
     "trace_events",
     "validate_metric_name",
+    "validate_record",
     "write_chrome_trace",
     "write_metrics_jsonl",
 ]

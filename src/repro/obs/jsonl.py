@@ -13,7 +13,32 @@ import pathlib
 
 import numpy as np
 
+from ..errors import SchemaError
 from ..ioutil import atomic_write_text
+
+#: Schema major of ``metrics.jsonl`` records. Stamped on every record
+#: at write time; :func:`read_metrics_jsonl` rejects unknown majors
+#: with a typed :class:`~repro.errors.SchemaError`. Records without a
+#: ``schema`` field (pre-versioning files) are accepted as major 1.
+METRICS_SCHEMA = 1
+
+
+def check_schema(record: "dict", *, expected: int, what: str) -> "dict":
+    """Validate one record's ``schema`` field against ``expected``.
+
+    The record is returned unchanged on success; an unknown major
+    raises :class:`~repro.errors.SchemaError`. A missing field is
+    treated as major 1 (artifacts written before versioning).
+    """
+    major = record.get("schema", 1)
+    if not isinstance(major, int) or isinstance(major, bool) or major < 1:
+        raise SchemaError(f"{what}: malformed schema field {major!r}")
+    if major != expected:
+        raise SchemaError(
+            f"{what}: unsupported schema major {major} "
+            f"(this build reads major {expected})"
+        )
+    return record
 
 
 def jsonable(value):
@@ -34,20 +59,38 @@ def jsonable(value):
 
 
 def write_metrics_jsonl(records: "list[dict]", path) -> pathlib.Path:
-    """Write frame records as one JSON object per line."""
+    """Write frame records as one JSON object per line.
+
+    Every record is stamped with ``"schema": METRICS_SCHEMA`` (a
+    record that already carries one keeps it).
+    """
     path = pathlib.Path(path)
-    lines = [json.dumps(jsonable(record)) for record in records]
+    lines = [
+        json.dumps(jsonable({"schema": METRICS_SCHEMA, **record}))
+        for record in records
+    ]
     text = "\n".join(lines) + "\n" if lines else ""
     atomic_write_text(path, text)
     return path
 
 
 def read_metrics_jsonl(path) -> "list[dict]":
-    """Parse a metrics JSONL file back into records."""
+    """Parse a metrics JSONL file back into records.
+
+    Raises :class:`~repro.errors.SchemaError` when any record carries
+    an unknown schema major (see :data:`METRICS_SCHEMA`).
+    """
+    path = pathlib.Path(path)
     records = []
-    with pathlib.Path(path).open() as handle:
+    with path.open() as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(json.loads(line))
+                records.append(
+                    check_schema(
+                        json.loads(line),
+                        expected=METRICS_SCHEMA,
+                        what=str(path),
+                    )
+                )
     return records

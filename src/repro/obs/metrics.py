@@ -67,12 +67,39 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def observe_many(self, values) -> None:
+        """Fold a whole batch (e.g. a numpy array) in O(1) summary ops.
+
+        An empty batch is a no-op, so per-frame distribution sites
+        (``quality.lod_shift`` over approximated pixels, say) don't
+        need their own emptiness guards.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        try:  # numpy-likes: vectorized reductions
+            lo, hi, total = (
+                float(values.min()), float(values.max()), float(values.sum())
+            )
+        except AttributeError:  # plain sequences
+            lo, hi, total = float(min(values)), float(max(values)), float(sum(values))
+        self.count += n
+        self.total += total
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> "dict[str, float]":
-        if self.count == 0:
+        # An empty histogram reports finite zeros, never the +/-inf
+        # sentinels the running min/max start from: every consumer
+        # (JSON export, ledger rollups, trend math) gets well-defined
+        # numbers whether or not anything was observed.
+        if self.count <= 0 or not (self.min <= self.max):
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
         return {
             "count": self.count,

@@ -30,6 +30,7 @@ span stack is one plain list.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from dataclasses import dataclass
 
@@ -120,6 +121,9 @@ class Telemetry:
         self._frames: "list[dict]" = []
         self._frame_mark_spans = 0
         self._frame_mark_counters: "dict[str, float]" = {}
+        #: Per-worker attribution accumulated by :meth:`merge_remote`:
+        #: ``{worker_id: {"stages": {...}, "counters": {...}}}``.
+        self._workers: "dict[object, dict]" = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -138,6 +142,7 @@ class Telemetry:
         self._frames.clear()
         self._frame_mark_spans = 0
         self._frame_mark_counters = {}
+        self._workers.clear()
 
     # -- stage timers ---------------------------------------------------
 
@@ -184,6 +189,12 @@ class Telemetry:
         if not self.enabled:
             return
         self.metrics.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values) -> None:
+        """Fold a batch of observations (e.g. a numpy array) at once."""
+        if not self.enabled:
+            return
+        self.metrics.histogram(name).observe_many(values)
 
     def counter_value(self, name: str) -> float:
         counter = self.metrics.counters.get(name)
@@ -264,14 +275,17 @@ class Telemetry:
 
     # -- cross-process merge (engine process backend) -------------------
 
-    def snapshot_remote(self) -> "dict[str, dict]":
+    def snapshot_remote(self) -> "dict[str, object]":
         """Bundle this process's telemetry for shipping to a parent.
 
         Pool workers call this after each job; the parent folds the
         snapshot back in with :meth:`merge_remote`, so ``--jobs N``
-        runs still end with one coherent summary.
+        runs still end with one coherent summary. The snapshot is
+        tagged with this process's id so the parent can keep a
+        per-worker dimension on the merged spans and counters.
         """
         return {
+            "worker": os.getpid(),
             "stages": self.stage_summary(),
             "counters": self.metrics.counter_totals(),
         }
@@ -280,13 +294,25 @@ class Telemetry:
         """Fold a worker's :meth:`snapshot_remote` into this registry.
 
         Each remote stage becomes one synthetic span carrying the
-        aggregated totals (its true call count rides in ``args``);
-        remote counters add onto local ones.
+        aggregated totals (its true call count and origin worker ride
+        in ``args``); remote counters add onto local ones. The same
+        stage/counter totals also accumulate under the snapshot's
+        worker id (see :meth:`worker_summary`), so merged totals and
+        the per-worker breakdown always sum to the same numbers.
         """
         if not self.enabled or not snapshot:
             return
         now_us = (time.perf_counter() - self._epoch) * 1e6
+        worker = snapshot.get("worker")
+        per_worker = None
+        if worker is not None:
+            per_worker = self._workers.setdefault(
+                worker, {"stages": {}, "counters": {}}
+            )
         for name, agg in snapshot.get("stages", {}).items():
+            args = {"remote_calls": int(agg["count"])}
+            if worker is not None:
+                args["worker"] = worker
             self._spans.append(
                 SpanRecord(
                     name=name,
@@ -294,11 +320,74 @@ class Telemetry:
                     dur_us=float(agg["total_us"]),
                     self_us=float(agg["self_us"]),
                     depth=int(agg.get("min_depth", 0)),
-                    args={"remote_calls": int(agg["count"])},
+                    args=args,
                 )
             )
+            if per_worker is not None:
+                slot = per_worker["stages"].setdefault(
+                    name, {"count": 0, "total_us": 0.0, "self_us": 0.0}
+                )
+                slot["count"] += int(agg["count"])
+                slot["total_us"] += float(agg["total_us"])
+                slot["self_us"] += float(agg["self_us"])
         for name, value in snapshot.get("counters", {}).items():
             self.metrics.counter(name).add(value)
+            if per_worker is not None:
+                per_worker["counters"][name] = (
+                    per_worker["counters"].get(name, 0.0) + value
+                )
+
+    # -- per-worker attribution (filled by merge_remote) ----------------
+
+    @property
+    def worker_stats(self) -> "dict[object, dict]":
+        """Raw per-worker stage/counter accumulation (id-keyed)."""
+        return self._workers
+
+    def worker_summary(self) -> "dict[str, dict]":
+        """Utilization rollup per pool worker.
+
+        ``busy_us`` is the sum of stage *self* times attributed to the
+        worker (self times partition wall time, so they add without
+        double counting); ``jobs`` estimates processed chunks from
+        remote call counts of top-level spans. Returns ``{}`` for
+        serial runs — only :meth:`merge_remote` populates it.
+        """
+        summary: "dict[str, dict]" = {}
+        for worker, stats in self._workers.items():
+            busy_us = sum(
+                agg["self_us"] for agg in stats["stages"].values()
+            )
+            summary[str(worker)] = {
+                "busy_us": busy_us,
+                "stages": {
+                    name: dict(agg) for name, agg in stats["stages"].items()
+                },
+                "counters": dict(stats["counters"]),
+            }
+        return summary
+
+    def format_worker_summary(self) -> str:
+        """One-line-per-worker utilization/skew table (may be empty)."""
+        summary = self.worker_summary()
+        if not summary:
+            return ""
+        busiest = max(s["busy_us"] for s in summary.values())
+        mean = sum(s["busy_us"] for s in summary.values()) / len(summary)
+        lines = []
+        for worker in sorted(summary):
+            stats = summary[worker]
+            share = stats["busy_us"] / busiest if busiest > 0 else 0.0
+            lines.append(
+                f"worker {worker}: busy {stats['busy_us'] / 1e3:.1f} ms "
+                f"({share:.0%} of busiest)"
+            )
+        skew = busiest / mean if mean > 0 else 1.0
+        lines.append(
+            f"{len(summary)} worker(s), skew {skew:.2f}x "
+            "(busiest / mean busy time)"
+        )
+        return "\n".join(lines)
 
     def format_summary(self) -> str:
         """Human-readable per-stage time and counter tables."""

@@ -13,12 +13,16 @@ import json
 import pathlib
 
 from ..ioutil import atomic_write_text
-from .jsonl import jsonable
+from .jsonl import check_schema, jsonable
 from .telemetry import Telemetry
 
 #: Synthetic process/thread ids shown in the trace viewer.
 TRACE_PID = 1
 TRACE_TID = 1
+
+#: Schema major of the exported trace document's ``otherData``
+#: metadata (mirrors ``hotpath.json``'s ``"schema": 1`` convention).
+TRACE_SCHEMA = 1
 
 
 def trace_events(telemetry: Telemetry) -> "list[dict]":
@@ -72,7 +76,26 @@ def write_chrome_trace(telemetry: Telemetry, path) -> pathlib.Path:
     document = {
         "traceEvents": trace_events(telemetry),
         "displayTimeUnit": "ms",
-        "otherData": {"metrics": jsonable(telemetry.metrics.summary())},
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "metrics": jsonable(telemetry.metrics.summary()),
+        },
     }
     atomic_write_text(path, json.dumps(document))
     return path
+
+
+def read_chrome_trace(path) -> "dict":
+    """Load a trace written by :func:`write_chrome_trace`.
+
+    Raises :class:`~repro.errors.SchemaError` on an unknown
+    ``otherData.schema`` major; traces written before versioning (no
+    field) load as major 1. Perfetto itself ignores ``otherData``, so
+    this reader exists for the toolkit's own consumers.
+    """
+    path = pathlib.Path(path)
+    document = json.loads(path.read_text())
+    check_schema(
+        document.get("otherData", {}), expected=TRACE_SCHEMA, what=str(path)
+    )
+    return document

@@ -1,0 +1,313 @@
+"""Trend analysis over the run ledger: variance-aware regression gates.
+
+``python -m repro trends`` loads the ledger (:mod:`repro.obs.ledger`),
+groups records by ``(kind, config_digest)`` — only runs doing the same
+work are comparable — and, for every metric of each group's newest
+record, builds a baseline from the preceding runs: the median plus a
+MAD-scaled band. A metric is flagged when the latest value leaves the
+band *in its harmful direction*:
+
+* time-like metrics (``stage_ms.*``, ``*_ms``/``*_us``, ``duration_s``,
+  anything with ``cycles``) regress upward. Before comparison, each
+  historical value is rescaled by the ratio of the two runs'
+  ``calibration_ms`` machine-speed tokens (the same normalization
+  ``benchmarks/compare.py --calibrate`` applies), so a baseline from a
+  faster machine doesn't read as a regression on a slower one;
+* quality-like metrics (``mssim``, ``fps``, ``*.hits``) regress
+  downward;
+* everything else (counter totals, store traffic) is two-sided —
+  deterministic fingerprints where *any* drift means behavior changed.
+
+The flag band is ``max(k * 1.4826 * MAD, floor * |median|)``: the MAD
+term adapts to observed run-to-run noise once history accumulates, the
+relative floor keeps two-run ledgers usable (MAD of one sample is 0).
+Time metrics get a generous floor, deterministic metrics a tight one.
+Wall-clock bands additionally never shrink below an absolute floor
+(0.5 ms for millisecond-denominated metrics): sub-millisecond stage
+times are dominated by timer jitter, where relative deltas of +50%
+mean tens of microseconds, not regressions. And until a group has
+three historical runs, wall-clock metrics are reported but never
+flagged — with one or two samples the MAD says nothing about the
+machine's noise (single millisecond-scale measurements jitter by 2-3x
+under load), and a fresh ledger must not flag its own second run.
+Deterministic metrics gate from the first comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from .ledger import read_ledger
+
+#: MAD multiplier (1.4826 * MAD estimates sigma for normal noise, so
+#: k=4 is roughly a four-sigma gate).
+DEFAULT_K = 4.0
+
+#: Relative floors under small/zero MAD: generous for wall-clock
+#: noise, tight for deterministic counts.
+DEFAULT_TIME_FLOOR = 0.35
+DEFAULT_EXACT_FLOOR = 0.01
+
+#: Wall-clock metrics need this many historical samples before they
+#: can flag. With one or two samples the MAD says nothing about the
+#: machine's noise, and single measurements of millisecond-scale spans
+#: genuinely jitter by 2-3x under CPU contention — a gate that cries
+#: wolf on its second run would be deleted, not fixed. Deterministic
+#: counters and quality scalars gate from the first comparison.
+MIN_TIME_SAMPLES = 3
+
+#: History window: baselines use at most this many preceding runs.
+DEFAULT_WINDOW = 20
+
+#: Scale factor turning a MAD into a normal-noise sigma estimate.
+MAD_SIGMA = 1.4826
+
+DIRECTION_HIGH_BAD = "high_bad"
+DIRECTION_LOW_BAD = "low_bad"
+DIRECTION_BOTH = "both"
+
+
+def is_time_metric(name: str) -> bool:
+    """Is this metric wall-clock-like (noisy, calibration-scalable)?"""
+    return (
+        name.startswith("stage_ms.")
+        or name.endswith(("_ms", "_us", "_s"))
+        or "duration" in name
+    )
+
+
+def time_abs_floor(name: str) -> float:
+    """Absolute band floor for a wall-clock metric, in its own unit.
+
+    0.5 ms of jitter is normal for any span; expressed per unit so
+    ``stage_ms.*``, ``*_us`` and ``duration_s`` all get the same
+    physical floor.
+    """
+    if name.startswith("stage_ms.") or name.endswith("_ms"):
+        return 0.5
+    if name.endswith("_us"):
+        return 500.0
+    if name.endswith("_s") or "duration" in name:
+        return 0.0005
+    return 0.0
+
+
+def metric_direction(name: str) -> str:
+    """Which way does this metric get *worse*?"""
+    if is_time_metric(name) or "cycles" in name:
+        return DIRECTION_HIGH_BAD
+    if "mssim" in name or "fps" in name or name.endswith(".hits"):
+        return DIRECTION_LOW_BAD
+    return DIRECTION_BOTH
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _mad(values: "list[float]", center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+def _calibration(record: "dict") -> float:
+    machine = record.get("machine") or {}
+    try:
+        return float(machine.get("calibration_ms") or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@dataclass
+class MetricTrend:
+    """One metric of one group's latest run against its history."""
+
+    name: str
+    latest: float
+    median: float
+    mad: float
+    threshold: float
+    samples: int
+    direction: str
+    flagged: bool
+
+    @property
+    def delta(self) -> float:
+        return self.latest - self.median
+
+    @property
+    def delta_rel(self) -> float:
+        return self.delta / abs(self.median) if self.median else 0.0
+
+    def format(self) -> str:
+        marker = "  << REGRESSION" if self.flagged else ""
+        return (
+            f"{self.name:<44} {self.median:>12.3f} -> {self.latest:>12.3f} "
+            f"({self.delta_rel:+7.1%}, band ±{self.threshold:.3f}, "
+            f"n={self.samples}){marker}"
+        )
+
+
+@dataclass
+class GroupTrend:
+    """All metric trends of one comparable-run group."""
+
+    kind: str
+    digest: str
+    command: str
+    runs: int
+    metrics: "list[MetricTrend]" = field(default_factory=list)
+
+    @property
+    def regressions(self) -> "list[MetricTrend]":
+        return [m for m in self.metrics if m.flagged]
+
+
+@dataclass
+class TrendReport:
+    """The full analysis over one ledger."""
+
+    groups: "list[GroupTrend]" = field(default_factory=list)
+    skipped_single: int = 0  # groups with no history yet
+
+    @property
+    def regressions(self) -> "list[tuple[GroupTrend, MetricTrend]]":
+        return [
+            (group, metric)
+            for group in self.groups
+            for metric in group.regressions
+        ]
+
+    def format(self, *, only_flagged: bool = False) -> str:
+        if not self.groups and not self.skipped_single:
+            return "(empty ledger — nothing to analyze)"
+        lines: "list[str]" = []
+        for group in self.groups:
+            lines.append(
+                f"== {group.kind} · {group.digest} — {group.runs} run(s)"
+                + (f" · {group.command}" if group.command else "")
+                + " =="
+            )
+            shown = (
+                group.regressions if only_flagged else group.metrics
+            )
+            if not shown:
+                lines.append(
+                    "  (no regressions)" if only_flagged
+                    else "  (no shared metrics with history)"
+                )
+            lines.extend(f"  {metric.format()}" for metric in shown)
+            lines.append("")
+        if self.skipped_single:
+            lines.append(
+                f"{self.skipped_single} group(s) have a single run "
+                "(no history yet — re-run to grow a baseline)"
+            )
+        flagged = self.regressions
+        if flagged:
+            names = ", ".join(
+                f"{g.kind}:{m.name}" for g, m in flagged[:8]
+            )
+            more = "" if len(flagged) <= 8 else f" (+{len(flagged) - 8} more)"
+            lines.append(
+                f"FAIL: {len(flagged)} metric(s) regressed: {names}{more}"
+            )
+        else:
+            lines.append("ok: no metric left its trend band")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def analyze_records(
+    records: "list[dict]",
+    *,
+    k: float = DEFAULT_K,
+    window: int = DEFAULT_WINDOW,
+    time_floor: float = DEFAULT_TIME_FLOOR,
+    exact_floor: float = DEFAULT_EXACT_FLOOR,
+    kind: "str | None" = None,
+    metric_filter: "str | None" = None,
+) -> TrendReport:
+    """Run the trend analysis over in-memory ledger records."""
+    groups: "dict[tuple[str, str], list[dict]]" = {}
+    for record in records:
+        if kind and record.get("kind") != kind:
+            continue
+        key = (str(record.get("kind")), str(record.get("config_digest")))
+        groups.setdefault(key, []).append(record)
+
+    report = TrendReport()
+    for (group_kind, digest), members in groups.items():
+        if len(members) < 2:
+            report.skipped_single += 1
+            continue
+        latest = members[-1]
+        history = members[max(0, len(members) - 1 - window):-1]
+        group = GroupTrend(
+            kind=group_kind,
+            digest=digest,
+            command=str(latest.get("command") or ""),
+            runs=len(members),
+        )
+        latest_cal = _calibration(latest)
+        latest_metrics = latest.get("metrics") or {}
+        for name in sorted(latest_metrics):
+            if metric_filter and metric_filter not in name:
+                continue
+            value = float(latest_metrics[name])
+            time_like = is_time_metric(name)
+            samples: "list[float]" = []
+            for past in history:
+                past_metrics = past.get("metrics") or {}
+                if name not in past_metrics:
+                    continue
+                past_value = float(past_metrics[name])
+                if time_like and latest_cal > 0:
+                    past_cal = _calibration(past)
+                    if past_cal > 0:
+                        past_value *= latest_cal / past_cal
+                samples.append(past_value)
+            if not samples:
+                continue
+            median = _median(samples)
+            mad = _mad(samples, median)
+            floor = time_floor if time_like else exact_floor
+            threshold = max(k * MAD_SIGMA * mad, floor * abs(median))
+            if time_like:
+                threshold = max(threshold, time_abs_floor(name))
+            delta = value - median
+            direction = metric_direction(name)
+            if direction == DIRECTION_HIGH_BAD:
+                flagged = delta > threshold
+            elif direction == DIRECTION_LOW_BAD:
+                flagged = delta < -threshold
+            else:
+                flagged = abs(delta) > threshold
+            if time_like and len(samples) < MIN_TIME_SAMPLES:
+                flagged = False  # wall clock is ungated until n >= 3
+            group.metrics.append(
+                MetricTrend(
+                    name=name,
+                    latest=value,
+                    median=median,
+                    mad=mad,
+                    threshold=threshold,
+                    samples=len(samples),
+                    direction=direction,
+                    flagged=flagged,
+                )
+            )
+        report.groups.append(group)
+    report.groups.sort(key=lambda g: (g.kind, g.digest))
+    return report
+
+
+def analyze_ledger(
+    ledger_dir: "str | pathlib.Path | None" = None, **kwargs
+) -> TrendReport:
+    """Load a ledger directory and analyze it (see :func:`analyze_records`)."""
+    return analyze_records(read_ledger(ledger_dir), **kwargs)

@@ -1,0 +1,112 @@
+"""Per-tile perceptual-quality heatmaps (AF-SSIM observability).
+
+The paper's quality argument is spatial — approximation hurts exactly
+where the SSIM map says it does — but until now the per-pixel map was
+only visible as a one-off PGM from ``repro render``. This module turns
+it into a first-class observable: :func:`quality_maps` reduces the
+full AF-SSIM map to the capture's tile grid (the renderer's scheduling
+unit, and the granularity the ROADMAP's budget-controller work wants),
+and :func:`export_quality_maps` materializes both as ``.npz`` (exact
+values, for tooling) plus ``.png`` heatmaps (for eyes), feeding the
+``quality.tile_mssim`` telemetry histogram along the way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs import TELEMETRY
+from .imageio import write_png
+from .ssim import ssim_map
+
+__all__ = ["export_quality_maps", "quality_maps", "tile_reduce_mean"]
+
+
+def tile_reduce_mean(map2d: np.ndarray, tile_size: int) -> np.ndarray:
+    """Mean of every ``tile_size`` x ``tile_size`` block (edges partial).
+
+    Output shape is ``(ceil(h / t), ceil(w / t))``; border tiles
+    average only the pixels they actually cover.
+    """
+    map2d = np.asarray(map2d, dtype=np.float64)
+    if map2d.ndim != 2:
+        raise ReproError(f"tile reduce needs a 2D map, got shape {map2d.shape}")
+    if tile_size < 1:
+        raise ReproError(f"tile size must be >= 1, got {tile_size}")
+    h, w = map2d.shape
+    row_starts = np.arange(0, h, tile_size)
+    col_starts = np.arange(0, w, tile_size)
+    sums = np.add.reduceat(
+        np.add.reduceat(map2d, row_starts, axis=0), col_starts, axis=1
+    )
+    row_sizes = np.minimum(row_starts + tile_size, h) - row_starts
+    col_sizes = np.minimum(col_starts + tile_size, w) - col_starts
+    return sums / np.outer(row_sizes, col_sizes)
+
+
+def quality_maps(
+    baseline_luminance: np.ndarray,
+    luminance: np.ndarray,
+    *,
+    tile_size: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The (per-pixel SSIM map, per-tile mean SSIM) pair of one frame."""
+    index_map = ssim_map(luminance, baseline_luminance)
+    return index_map, tile_reduce_mean(index_map, tile_size)
+
+
+def export_quality_maps(
+    capture,
+    luminance: np.ndarray,
+    out_dir,
+    *,
+    scenario: str,
+    threshold: float,
+) -> "dict[str, pathlib.Path]":
+    """Write one frame's quality maps; returns the created paths.
+
+    Artifacts, named ``{workload}-f{frame}``:
+
+    * ``.npz`` — exact ``ssim`` (per-pixel) and ``tile_ssim``
+      (per-tile mean) arrays plus the identifying metadata;
+    * ``-ssim.png`` — the per-pixel map, ``[-1, 1]`` mapped to
+      ``[0, 1]`` gray (lighter = perceptually closer to exact AF);
+    * ``-tiles.png`` — the tile map upsampled back to pixel
+      resolution, the at-a-glance "where did approximation cost
+      quality" view.
+
+    The per-tile values also land in the ``quality.tile_mssim``
+    telemetry histogram, so ledger records of a ``--quality-maps`` run
+    summarize spatial quality without reading the files back.
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    index_map, tile_map = quality_maps(
+        capture.baseline_luminance, luminance, tile_size=capture.tile_size
+    )
+    TELEMETRY.observe_many("quality.tile_mssim", tile_map.ravel())
+    stem = f"{capture.workload_name}-f{capture.frame_index}"
+    npz_path = out_dir / f"{stem}.npz"
+    with npz_path.open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            ssim=index_map,
+            tile_ssim=tile_map,
+            tile_size=np.int64(capture.tile_size),
+            workload=np.str_(capture.workload_name),
+            frame=np.int64(capture.frame_index),
+            scenario=np.str_(scenario),
+            threshold=np.float64(threshold),
+        )
+    ssim_png = write_png(out_dir / f"{stem}-ssim.png", (index_map + 1.0) / 2.0)
+    upsampled = np.repeat(
+        np.repeat(tile_map, capture.tile_size, axis=0),
+        capture.tile_size, axis=1,
+    )[: capture.height, : capture.width]
+    tiles_png = write_png(
+        out_dir / f"{stem}-tiles.png", (upsampled + 1.0) / 2.0
+    )
+    return {"npz": npz_path, "ssim_png": ssim_png, "tiles_png": tiles_png}

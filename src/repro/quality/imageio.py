@@ -1,13 +1,16 @@
-"""Minimal PGM/PPM image I/O (dependency-free).
+"""Minimal PGM/PPM/PNG image I/O (dependency-free).
 
-Used by the examples and the CLI to materialize rendered frames and
-SSIM maps as files any image viewer opens. Binary (P5/P6) variants,
-8 bits per channel.
+Used by the examples and the CLI to materialize rendered frames, SSIM
+maps and quality heatmaps as files any image viewer opens. PGM/PPM are
+binary (P5/P6) variants; PNG is stdlib-only (zlib + struct), 8 bits
+per channel, grayscale or RGB.
 """
 
 from __future__ import annotations
 
 import pathlib
+import struct
+import zlib
 
 import numpy as np
 
@@ -46,6 +49,92 @@ def write_ppm(path, image: np.ndarray) -> pathlib.Path:
     header = f"P6\n{data.shape[1]} {data.shape[0]}\n255\n".encode()
     path.write_bytes(header + data.tobytes())
     return path
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    body = tag + payload
+    return (
+        struct.pack(">I", len(payload))
+        + body
+        + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path, image: np.ndarray) -> pathlib.Path:
+    """Write a [0, 1] float image as an 8-bit PNG (stdlib only).
+
+    2D input becomes grayscale (color type 0), (h, w, 3|4) becomes RGB
+    (alpha dropped). Rows use filter type 0; the payload is deflate-
+    compressed, so quality heatmaps stay small.
+    """
+    image = np.asarray(image)
+    if image.ndim == 3 and image.shape[2] in (3, 4):
+        data = _to_bytes(image[..., :3])
+        color_type = 2
+    elif image.ndim == 2:
+        data = _to_bytes(image)
+        color_type = 0
+    else:
+        raise ReproError(
+            f"PNG needs a 2D or (h, w, 3|4) image, got shape {image.shape}"
+        )
+    height, width = data.shape[0], data.shape[1]
+    raw = b"".join(
+        b"\x00" + data[row].tobytes() for row in range(height)
+    )
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    payload = (
+        b"\x89PNG\r\n\x1a\n"
+        + _png_chunk(b"IHDR", header)
+        + _png_chunk(b"IDAT", zlib.compress(raw, 6))
+        + _png_chunk(b"IEND", b"")
+    )
+    path = pathlib.Path(path)
+    path.write_bytes(payload)
+    return path
+
+
+def read_png(path) -> np.ndarray:
+    """Read an 8-bit PNG written by :func:`write_png` back to [0, 1].
+
+    Supports color types 0 (grayscale) and 2 (RGB) with filter type 0
+    rows — exactly what :func:`write_png` emits; everything else
+    raises. This is a round-trip check helper, not a general decoder.
+    """
+    raw = pathlib.Path(path).read_bytes()
+    if raw[:8] != b"\x89PNG\r\n\x1a\n":
+        raise ReproError("not a PNG file")
+    pos, width, height, color_type, idat = 8, 0, 0, 0, b""
+    while pos < len(raw):
+        (length,) = struct.unpack(">I", raw[pos : pos + 4])
+        tag = raw[pos + 4 : pos + 8]
+        payload = raw[pos + 8 : pos + 8 + length]
+        pos += 12 + length
+        if tag == b"IHDR":
+            width, height, depth, color_type = struct.unpack(
+                ">IIBB", payload[:10]
+            )
+            if depth != 8 or color_type not in (0, 2):
+                raise ReproError(
+                    f"unsupported PNG layout (depth {depth}, type {color_type})"
+                )
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+    channels = 1 if color_type == 0 else 3
+    decoded = zlib.decompress(idat)
+    stride = 1 + width * channels
+    rows = []
+    for row in range(height):
+        line = decoded[row * stride : (row + 1) * stride]
+        if not line or line[0] != 0:
+            raise ReproError("unsupported PNG row filter")
+        rows.append(np.frombuffer(line[1:], dtype=np.uint8))
+    image = np.stack(rows).astype(np.float64) / 255.0
+    if channels == 1:
+        return image.reshape(height, width)
+    return image.reshape(height, width, 3)
 
 
 def read_pnm(path) -> np.ndarray:

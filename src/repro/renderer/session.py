@@ -523,6 +523,19 @@ class RenderSession:
         if TELEMETRY.enabled:
             TELEMETRY.observe("session.mssim", result.mssim)
             TELEMETRY.observe("session.frame_cycles", result.frame_cycles)
+            # Perceptual observability: the distributions behind the
+            # scalar result — per-pixel anisotropy (the paper's N), the
+            # LOD shift approximated pixels suffer, and the fraction
+            # approximated — feed the ledger's quality rollup.
+            TELEMETRY.observe_many("quality.aniso_n", capture.n)
+            approximated = decision.prediction.approximated
+            TELEMETRY.observe_many(
+                "quality.lod_shift",
+                np.abs(capture.lod_af - capture.lod_tf)[approximated],
+            )
+            TELEMETRY.observe(
+                "quality.approximation_rate", result.approximation_rate
+            )
             TELEMETRY.frame_record(result.to_dict(), patu=decision.to_dict())
         TELEMETRY.progress(
             f"evaluated {capture.workload_name} frame {capture.frame_index} "

@@ -83,6 +83,19 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a throwaway directory.
+
+    CLI tests invoke ``main()`` in the checkout's cwd; without the
+    override every ``experiment``/``profile``/``verify`` call would
+    grow a real ``.repro/ledger`` inside the repository.
+    """
+    from repro.obs.ledger import LEDGER_DIR_ENV
+
+    monkeypatch.setenv(LEDGER_DIR_ENV, str(tmp_path / "ledger"))
+
+
+@pytest.fixture(autouse=True)
 def _isolated_global_state():
     """Keep the process-wide singletons from leaking between tests.
 

@@ -14,6 +14,7 @@ from repro.engine.capture_store import (
     capture_spec,
     spec_digest,
 )
+from repro.obs import TELEMETRY
 
 SPEC_KWARGS = dict(scale=1.0, tile_size=16, max_anisotropy=16, compressed=False)
 
@@ -107,3 +108,41 @@ class TestRoundTrip:
         store.put(capture_spec("a", 0, **SPEC_KWARGS), capture)
         store.put(capture_spec("b", 0, **SPEC_KWARGS), capture)
         assert len(store) == 2
+
+
+class TestTelemetryAgreement:
+    @pytest.fixture(autouse=True)
+    def _disabled_after(self):
+        yield
+        TELEMETRY.enabled = False
+
+    def test_counters_match_stats_and_stderr_text(self, store, capture):
+        """The ``store.*`` telemetry counters, the ``StoreStats``
+        object and the "capture store: ..." stderr line are three views
+        of the same traffic — they must never disagree."""
+        TELEMETRY.reset()
+        TELEMETRY.enabled = True
+        spec_a = capture_spec("a", 0, **SPEC_KWARGS)
+        spec_b = capture_spec("b", 0, **SPEC_KWARGS)
+        assert store.get(spec_a) is None  # miss
+        store.put(spec_a, capture)  # write
+        assert store.get(spec_a) is not None  # hit
+        assert store.get(spec_a) is not None  # hit
+        assert store.get(spec_b) is None  # miss
+
+        stats = store.stats
+        assert (stats.hits, stats.misses, stats.writes) == (2, 2, 1)
+        assert TELEMETRY.counter_value("store.hits") == stats.hits
+        assert TELEMETRY.counter_value("store.misses") == stats.misses
+        assert TELEMETRY.counter_value("store.writes") == stats.writes
+        assert str(stats) == "2 hit(s), 2 miss(es), 1 write(s)"
+
+    def test_disabled_telemetry_still_tracks_stats(self, store, capture):
+        TELEMETRY.reset()
+        TELEMETRY.enabled = False
+        spec = capture_spec("a", 0, **SPEC_KWARGS)
+        store.get(spec)
+        store.put(spec, capture)
+        store.get(spec)
+        assert (store.stats.hits, store.stats.misses) == (1, 1)
+        assert TELEMETRY.counter_value("store.hits") == 0

@@ -1,0 +1,101 @@
+"""Per-worker telemetry attribution through the process backend.
+
+The observability contract for ``--jobs N``: merged counter totals are
+identical to a serial run's (determinism), and the per-worker dimension
+partitions those totals exactly — no work is dropped or double-counted
+on the way through ``snapshot_remote``/``merge_remote``.
+"""
+
+import pytest
+
+from repro.engine.jobs import eval_job
+from repro.experiments.runner import ExperimentContext
+from repro.obs import TELEMETRY, build_record
+
+WORKLOADS = ("wolf-640x480", "HL2-640x480")
+
+# Deterministic, worker-side-only counters: rendering and filtering
+# happen inside pool workers, and the parent never increments these
+# itself (unlike e.g. ``experiment.evaluations``, which the parent
+# counts while merging outcomes).
+ATTRIBUTED = ("session.capture_frames", "texture.trilinear_samples")
+
+
+def make_ctx(**kwargs):
+    return ExperimentContext(
+        scale=0.0625, frames=1, workloads=WORKLOADS, **kwargs
+    )
+
+
+def plan():
+    return [
+        eval_job(workload, 0, scenario, threshold)
+        for workload in WORKLOADS
+        for scenario, threshold in (("baseline", 1.0), ("patu", 0.4))
+    ]
+
+
+@pytest.fixture
+def telemetry():
+    TELEMETRY.reset()
+    TELEMETRY.enabled = True
+    yield TELEMETRY
+    TELEMETRY.enabled = False
+    TELEMETRY.reset()
+
+
+class TestWorkerAttribution:
+    def test_jobs2_attribution_sums_to_serial_totals(self, tmp_path, telemetry):
+        make_ctx().execute(plan())
+        serial = {
+            name: telemetry.counter_value(name) for name in ATTRIBUTED
+        }
+        assert all(value > 0 for value in serial.values()), serial
+
+        telemetry.reset()
+        parallel = make_ctx(
+            jobs=2, capture_cache=tmp_path / "captures"
+        )
+        parallel.execute(plan())
+
+        # Merged totals match the serial run exactly...
+        merged = {
+            name: telemetry.counter_value(name) for name in ATTRIBUTED
+        }
+        assert merged == serial
+
+        # ...and the per-worker dimension partitions them exactly.
+        workers = telemetry.worker_summary()
+        assert workers, "process backend produced no worker attribution"
+        for name in ATTRIBUTED:
+            across = sum(
+                stats["counters"].get(name, 0.0)
+                for stats in workers.values()
+            )
+            assert across == serial[name], name
+        for stats in workers.values():
+            assert stats["busy_us"] > 0
+
+    def test_ledger_record_carries_the_worker_dimension(
+        self, tmp_path, telemetry
+    ):
+        ctx = make_ctx(jobs=2, capture_cache=tmp_path / "captures")
+        ctx.execute(plan())
+        record = build_record(
+            "experiment", telemetry=telemetry, calibration_ms=1.0
+        )
+        workers = record["workers"]
+        assert workers
+        total = sum(
+            stats["counters"].get("texture.trilinear_samples", 0.0)
+            for stats in workers.values()
+        )
+        assert total == telemetry.counter_value("texture.trilinear_samples")
+
+    def test_serial_runs_leave_workers_empty(self, telemetry):
+        make_ctx().execute(plan())
+        assert telemetry.worker_summary() == {}
+        record = build_record(
+            "experiment", telemetry=telemetry, calibration_ms=1.0
+        )
+        assert record["workers"] == {}

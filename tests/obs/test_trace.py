@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import SchemaError
 from repro.obs import (
     Telemetry,
     jsonable,
@@ -15,6 +16,8 @@ from repro.obs import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from repro.obs.jsonl import METRICS_SCHEMA, check_schema
+from repro.obs.trace import TRACE_SCHEMA, read_chrome_trace
 
 
 @pytest.fixture()
@@ -88,6 +91,7 @@ class TestMetricsJsonl:
         path = write_metrics_jsonl(records, tmp_path / "np.jsonl")
         back = read_metrics_jsonl(path)[0]
         assert back == {
+            "schema": 1,
             "i": 3, "f": 0.5, "b": True, "arr": [0, 1, 2], "nested": {"x": 7},
         }
 
@@ -97,3 +101,49 @@ class TestMetricsJsonl:
     def test_empty_records(self, tmp_path):
         path = write_metrics_jsonl([], tmp_path / "empty.jsonl")
         assert read_metrics_jsonl(path) == []
+
+
+class TestSchemaStamps:
+    def test_every_jsonl_record_is_stamped(self, tele, tmp_path):
+        path = write_metrics_jsonl(tele.frame_records, tmp_path / "m.jsonl")
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["schema"] == METRICS_SCHEMA
+
+    def test_jsonl_reader_rejects_unknown_major(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": METRICS_SCHEMA + 1}) + "\n")
+        with pytest.raises(SchemaError, match="unsupported schema major"):
+            read_metrics_jsonl(path)
+
+    def test_jsonl_reader_rejects_malformed_major(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "one"}) + "\n")
+        with pytest.raises(SchemaError, match="malformed"):
+            read_metrics_jsonl(path)
+
+    def test_missing_field_reads_as_major_one(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(json.dumps({"mssim": 0.9}) + "\n")
+        assert read_metrics_jsonl(path)[0]["mssim"] == 0.9
+        assert check_schema({}, expected=1, what="x") == {}
+
+    def test_trace_metadata_is_stamped(self, tele, tmp_path):
+        path = write_chrome_trace(tele, tmp_path / "t.json")
+        document = read_chrome_trace(path)
+        assert document["otherData"]["schema"] == TRACE_SCHEMA
+        assert "metrics" in document["otherData"]
+
+    def test_trace_reader_rejects_unknown_major(self, tele, tmp_path):
+        path = write_chrome_trace(tele, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        document["otherData"]["schema"] = TRACE_SCHEMA + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(SchemaError, match="unsupported schema major"):
+            read_chrome_trace(path)
+
+    def test_pre_versioning_trace_loads(self, tele, tmp_path):
+        path = write_chrome_trace(tele, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        del document["otherData"]["schema"]
+        path.write_text(json.dumps(document))
+        assert read_chrome_trace(path)["displayTimeUnit"] == "ms"

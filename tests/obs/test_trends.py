@@ -1,0 +1,216 @@
+"""Trend-analysis tests: band math, directions, calibration scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trends import (
+    DIRECTION_BOTH,
+    DIRECTION_HIGH_BAD,
+    DIRECTION_LOW_BAD,
+    MAD_SIGMA,
+    analyze_ledger,
+    analyze_records,
+    is_time_metric,
+    metric_direction,
+    time_abs_floor,
+)
+
+
+def record(metrics, *, kind="profile", digest="feedc0de00000000",
+           calibration_ms=10.0, command="repro profile hl2"):
+    """A synthetic ledger record: just the keys analyze_records uses."""
+    return {
+        "kind": kind,
+        "config_digest": digest,
+        "command": command,
+        "machine": {"calibration_ms": calibration_ms},
+        "metrics": dict(metrics),
+    }
+
+
+class TestMetricClassification:
+    @pytest.mark.parametrize("name", [
+        "stage_ms.session.evaluate", "duration_s", "profile_ms", "wait_us",
+    ])
+    def test_time_metrics(self, name):
+        assert is_time_metric(name)
+        assert metric_direction(name) == DIRECTION_HIGH_BAD
+
+    def test_cycles_are_high_bad_but_not_time(self):
+        assert not is_time_metric("quality.frame_cycles_mean")
+        assert metric_direction("quality.frame_cycles_mean") == DIRECTION_HIGH_BAD
+
+    @pytest.mark.parametrize("name", [
+        "quality.mssim_mean", "replay.fps", "store.hits",
+    ])
+    def test_quality_metrics_are_low_bad(self, name):
+        assert metric_direction(name) == DIRECTION_LOW_BAD
+
+    @pytest.mark.parametrize("name", [
+        "counter.texture.fragments", "store.writes", "exit_status",
+    ])
+    def test_deterministic_metrics_are_two_sided(self, name):
+        assert metric_direction(name) == DIRECTION_BOTH
+
+    def test_abs_floor_is_half_a_millisecond_in_each_unit(self):
+        assert time_abs_floor("stage_ms.evaluate") == 0.5
+        assert time_abs_floor("wait_us") == 500.0
+        assert time_abs_floor("duration_s") == 0.0005
+        assert time_abs_floor("counter.x") == 0.0
+
+
+class TestBandMath:
+    def test_single_run_groups_are_skipped(self):
+        report = analyze_records([record({"counter.x": 1.0})])
+        assert report.groups == []
+        assert report.skipped_single == 1
+        assert "single run" in report.format()
+
+    def test_identical_runs_never_flag(self):
+        metrics = {"counter.x": 100.0, "stage_ms.a": 3.0,
+                   "quality.mssim_mean": 0.97}
+        report = analyze_records([record(metrics), record(metrics)])
+        assert report.regressions == []
+        assert report.format().endswith("ok: no metric left its trend band\n")
+
+    def test_two_sided_metric_flags_any_drift(self):
+        base = [record({"counter.x": 1000.0}) for _ in range(3)]
+        up = analyze_records(base + [record({"counter.x": 1020.0})])
+        down = analyze_records(base + [record({"counter.x": 980.0})])
+        assert [m.name for _, m in up.regressions] == ["counter.x"]
+        assert [m.name for _, m in down.regressions] == ["counter.x"]
+        # within the 1% exact floor: fine
+        ok = analyze_records(base + [record({"counter.x": 1005.0})])
+        assert ok.regressions == []
+
+    def test_time_metric_only_flags_upward(self):
+        base = [record({"stage_ms.a": 100.0}) for _ in range(3)]
+        slow = analyze_records(base + [record({"stage_ms.a": 150.0})])
+        fast = analyze_records(base + [record({"stage_ms.a": 50.0})])
+        assert len(slow.regressions) == 1
+        assert fast.regressions == []  # a speedup is not a regression
+
+    def test_quality_metric_only_flags_downward(self):
+        base = [record({"quality.mssim_mean": 0.95}) for _ in range(3)]
+        worse = analyze_records(base + [record({"quality.mssim_mean": 0.80})])
+        better = analyze_records(base + [record({"quality.mssim_mean": 0.99})])
+        assert len(worse.regressions) == 1
+        assert better.regressions == []
+
+    def test_mad_band_adapts_to_noisy_history(self):
+        # Noisy history: values 90..110 — MAD-based band must absorb a
+        # 115 that a tight relative floor would flag.
+        history = [record({"stage_ms.a": v})
+                   for v in (90.0, 95.0, 100.0, 105.0, 110.0)]
+        report = analyze_records(history + [record({"stage_ms.a": 115.0})])
+        (trend,) = report.groups[0].metrics
+        assert trend.mad == 5.0
+        assert trend.threshold >= 4.0 * MAD_SIGMA * 5.0
+        assert not trend.flagged
+
+    def test_sub_millisecond_jitter_is_absorbed(self):
+        # +47% on a 0.06 ms stage is timer jitter, not a regression.
+        report = analyze_records([
+            record({"stage_ms.reconstruct": 0.061}),
+            record({"stage_ms.reconstruct": 0.089}),
+        ])
+        (trend,) = report.groups[0].metrics
+        assert trend.threshold >= 0.5
+        assert not trend.flagged
+
+    def test_small_history_never_flags_wall_clock(self):
+        # One or two historical samples say nothing about machine
+        # noise: even a 3x wall-clock blip is reported, not flagged...
+        for history in (1, 2):
+            rows = [record({"stage_ms.a": 10.0}) for _ in range(history)]
+            report = analyze_records(rows + [record({"stage_ms.a": 30.0})])
+            (trend,) = report.groups[0].metrics
+            assert not trend.flagged
+        # ...three samples arm the gate...
+        rows = [record({"stage_ms.a": 10.0}) for _ in range(3)]
+        report = analyze_records(rows + [record({"stage_ms.a": 30.0})])
+        assert len(report.regressions) == 1
+        # ...and deterministic counters gate from the first comparison.
+        report = analyze_records([
+            record({"counter.x": 1000.0}),
+            record({"counter.x": 1600.0}),
+        ])
+        assert len(report.regressions) == 1
+
+    def test_calibration_scales_historical_time_metrics(self):
+        # History on a 2x-faster machine (calibration 5 ms vs 10 ms):
+        # its 50 ms span is re-expressed as 100 ms on this machine, so
+        # a 100 ms latest run is NOT a regression...
+        fast_history = [record({"stage_ms.a": 50.0}, calibration_ms=5.0)
+                        for _ in range(3)]
+        latest = record({"stage_ms.a": 100.0}, calibration_ms=10.0)
+        report = analyze_records(fast_history + [latest])
+        (trend,) = report.groups[0].metrics
+        assert trend.median == pytest.approx(100.0)
+        assert not trend.flagged
+        # ...while counters are never rescaled.
+        counts = [record({"counter.x": 50.0}, calibration_ms=5.0)
+                  for _ in range(3)]
+        report = analyze_records(
+            counts + [record({"counter.x": 100.0}, calibration_ms=10.0)]
+        )
+        assert len(report.regressions) == 1
+
+
+class TestGroupingAndFilters:
+    def test_different_digests_never_compare(self):
+        a = record({"counter.x": 10.0}, digest="aaaaaaaaaaaaaaaa")
+        b = record({"counter.x": 99999.0}, digest="bbbbbbbbbbbbbbbb")
+        report = analyze_records([a, b])
+        assert report.groups == []
+        assert report.skipped_single == 2
+
+    def test_different_kinds_never_compare(self):
+        a = record({"counter.x": 10.0}, kind="profile")
+        b = record({"counter.x": 99999.0}, kind="verify")
+        assert analyze_records([a, b]).skipped_single == 2
+
+    def test_kind_and_metric_filters(self):
+        rows = [record({"counter.x": 10.0, "counter.y": 5.0})
+                for _ in range(2)]
+        rows += [record({"counter.x": 10.0}, kind="verify") for _ in range(2)]
+        report = analyze_records(rows, kind="profile")
+        assert [g.kind for g in report.groups] == ["profile"]
+        report = analyze_records(rows, metric_filter="counter.y")
+        names = [m.name for g in report.groups for m in g.metrics]
+        assert names == ["counter.y"]
+
+    def test_window_bounds_the_history(self):
+        # 10 old runs at 1000, then 3 recent at 2000: with window=2 the
+        # baseline only sees the recent level, so 2000 is not flagged.
+        rows = [record({"counter.x": 1000.0}) for _ in range(10)]
+        rows += [record({"counter.x": 2000.0}) for _ in range(3)]
+        assert analyze_records(rows, window=2).regressions == []
+        assert len(analyze_records(rows, window=12).regressions) == 1
+
+    def test_new_metrics_without_history_are_skipped(self):
+        rows = [record({"counter.x": 10.0}),
+                record({"counter.x": 10.0, "counter.new": 5.0})]
+        names = [m.name
+                 for g in analyze_records(rows).groups for m in g.metrics]
+        assert names == ["counter.x"]
+
+
+class TestLedgerEntryPoint:
+    def test_analyze_ledger_reads_the_directory(self, tmp_path):
+        from repro.obs import append_record, build_record
+
+        for _ in range(2):
+            append_record(
+                build_record("profile", config={"frames": 1},
+                             calibration_ms=1.0,
+                             metrics={"counter.x": 5.0}),
+                tmp_path,
+            )
+        report = analyze_ledger(tmp_path)
+        assert report.groups and not report.regressions
+
+    def test_empty_ledger_formats_gracefully(self, tmp_path):
+        report = analyze_ledger(tmp_path / "empty")
+        assert "empty ledger" in report.format()

@@ -1,10 +1,16 @@
-"""Tests for PGM/PPM image I/O."""
+"""Tests for PGM/PPM/PNG image I/O."""
 
 import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.quality.imageio import read_pnm, write_pgm, write_ppm
+from repro.quality.imageio import (
+    read_png,
+    read_pnm,
+    write_pgm,
+    write_png,
+    write_ppm,
+)
 
 
 class TestRoundTrip:
@@ -34,6 +40,37 @@ class TestRoundTrip:
         path = write_pgm(tmp_path / "c.pgm", img)
         back = read_pnm(path)
         assert back[0, 0] == 1.0 and back[0, 1] == 0.0
+
+
+class TestPng:
+    def test_gray_round_trip(self, tmp_path, rng):
+        img = rng.random((16, 24))
+        path = write_png(tmp_path / "x.png", img)
+        assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+        back = read_png(path)
+        assert back.shape == (16, 24)
+        assert np.abs(back - img).max() <= 1.0 / 255.0
+
+    def test_rgb_round_trip(self, tmp_path, rng):
+        img = rng.random((8, 12, 3))
+        back = read_png(write_png(tmp_path / "x.png", img))
+        assert back.shape == (8, 12, 3)
+        assert np.abs(back - img).max() <= 1.0 / 255.0
+
+    def test_alpha_dropped(self, tmp_path):
+        img = np.zeros((4, 4, 4))
+        img[..., 3] = 1.0
+        assert read_png(write_png(tmp_path / "a.png", img)).shape == (4, 4, 3)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_png(tmp_path / "x.png", np.zeros((4, 4, 2)))
+
+    def test_not_a_png_rejected(self, tmp_path):
+        p = tmp_path / "bad.png"
+        p.write_bytes(b"P5\n2 2\n255\n" + b"\x00" * 4)
+        with pytest.raises(ReproError):
+            read_png(p)
 
 
 class TestValidation:

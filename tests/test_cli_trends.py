@@ -1,0 +1,86 @@
+"""End-to-end `repro trends` gate: real CLI runs feeding a real ledger.
+
+The acceptance contract for the trend gate: two identical seeded runs
+must pass ``--check`` (exit 0) and a perturbed metric must flip it
+(exit nonzero). Exercised with actual ``experiment`` runs so record
+production, grouping, band math and the exit code are covered together.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_ledger
+from repro.obs.ledger import ledger_path
+
+
+EXPERIMENT_ARGS = [
+    "experiment", "fig19", "--workloads", "wolf-640x480",
+    "--frames", "1", "--scale", "0.0625",
+]
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return tmp_path / "ledger"
+
+
+def run_experiment(ledger):
+    assert main(EXPERIMENT_ARGS + ["--ledger", str(ledger)]) == 0
+
+
+def trends(ledger, *extra):
+    return main(["trends", "--ledger", str(ledger), *extra])
+
+
+class TestTrendGate:
+    def test_identical_runs_pass_the_check(self, ledger, capsys):
+        run_experiment(ledger)
+        run_experiment(ledger)
+        records = read_ledger(ledger)
+        assert len(records) == 2
+        assert records[0]["config_digest"] == records[1]["config_digest"]
+        capsys.readouterr()
+        assert trends(ledger, "--check") == 0
+        out = capsys.readouterr().out
+        assert "ok: no metric left its trend band" in out
+        assert "experiment" in out
+
+    def test_perturbed_metric_flips_the_check(self, ledger, capsys):
+        run_experiment(ledger)
+        run_experiment(ledger)
+        # Perturb a deterministic counter well past the 1% exact floor
+        # in a raw copy of the newest record, exactly like a run whose
+        # behavior changed would.
+        path = ledger_path(ledger)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        bad = records[-1]
+        name = "counter.session.capture_frames"
+        assert name in bad["metrics"]
+        bad["metrics"][name] *= 2.0
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(bad) + "\n")
+        capsys.readouterr()
+        assert trends(ledger, "--check", "--only-flagged") == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert name in out
+        assert "FAIL:" in out
+
+    def test_check_without_history_passes(self, ledger, capsys):
+        run_experiment(ledger)
+        assert trends(ledger, "--check") == 0
+        assert "no history yet" in capsys.readouterr().out
+
+    def test_report_mode_lists_every_metric(self, ledger, capsys):
+        run_experiment(ledger)
+        run_experiment(ledger)
+        capsys.readouterr()
+        assert trends(ledger) == 0
+        out = capsys.readouterr().out
+        assert "duration_s" in out
+        assert "counter.session.capture_frames" in out
