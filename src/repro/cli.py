@@ -43,7 +43,12 @@ accept ``--checkpoint PATH`` to persist evaluated design points and
 ``--resume`` to continue an interrupted sweep (SIGINT flushes the
 checkpoint before exiting with status 130); ``--inject-faults`` (with
 ``--fault-rate``/``--fault-seed``) exercises the graceful-degradation
-paths with deterministic corruption.
+paths with deterministic corruption. The process backend is
+supervised: ``--job-timeout SECONDS`` bounds each worker chunk (300 s
+per job by default, 0 disables), and ``--chaos-worker-kill`` /
+``--chaos-worker-hang`` / ``--chaos-chunk-corrupt`` inject seeded
+process-level failures (killed/hung workers, torn IPC payloads) to
+test the supervision layer end-to-end.
 """
 
 from __future__ import annotations
@@ -99,6 +104,11 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         dest="capture_cache",
                         help="persistent capture store directory; "
                              "rendered frames are reused across runs")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        dest="job_timeout", metavar="SECONDS",
+                        help="per-job wall-clock budget for process-"
+                             "backend chunk deadlines (default 300; "
+                             "0 disables deadlines)")
 
 
 def _engine_end(ctx: ExperimentContext) -> None:
@@ -110,6 +120,7 @@ def _engine_end(ctx: ExperimentContext) -> None:
             "hits": stats.hits,
             "misses": stats.misses,
             "writes": stats.writes,
+            "corrupt": stats.corrupt,
         })
 
 
@@ -209,6 +220,19 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=0,
                         dest="fault_seed", metavar="SEED",
                         help="seed for the fault injector (default 0)")
+    parser.add_argument("--chaos-worker-kill", type=float, default=0.0,
+                        dest="chaos_worker_kill", metavar="RATE",
+                        help="probability a pool worker self-kills "
+                             "before a job (process chaos; needs "
+                             "--jobs > 1)")
+    parser.add_argument("--chaos-worker-hang", type=float, default=0.0,
+                        dest="chaos_worker_hang", metavar="RATE",
+                        help="probability a pool worker hangs before a "
+                             "job (reaped by the chunk deadline)")
+    parser.add_argument("--chaos-chunk-corrupt", type=float, default=0.0,
+                        dest="chaos_chunk_corrupt", metavar="RATE",
+                        help="probability a chunk's IPC result payload "
+                             "is truncated/garbled")
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -231,29 +255,57 @@ def _checkpoint_path(args) -> "str | None":
     return path
 
 
+def _chaos_rates(args) -> "tuple[float, float, float]":
+    return (
+        getattr(args, "chaos_worker_kill", 0.0),
+        getattr(args, "chaos_worker_hang", 0.0),
+        getattr(args, "chaos_chunk_corrupt", 0.0),
+    )
+
+
 def _faults_begin(args) -> None:
     """Arm the fault injector from the parsed flags."""
-    if getattr(args, "inject_faults", False):
-        # Degradation counters live in telemetry; a faulted run without
-        # --trace/--metrics still wants them, so arm telemetry too.
-        if not TELEMETRY.enabled:
-            TELEMETRY.reset()
-            TELEMETRY.enabled = True
-        FAULTS.configure(
-            FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+    kill, hang, corrupt = _chaos_rates(args)
+    data_faults = getattr(args, "inject_faults", False)
+    if not (data_faults or kill or hang or corrupt):
+        return
+    # Degradation counters live in telemetry; a faulted run without
+    # --trace/--metrics still wants them, so arm telemetry too.
+    if not TELEMETRY.enabled:
+        TELEMETRY.reset()
+        TELEMETRY.enabled = True
+    rate = args.fault_rate if data_faults else 0.0
+    FAULTS.configure(
+        FaultPlan.uniform(rate, seed=args.fault_seed).with_chaos(
+            kill=kill, hang=hang, corrupt=corrupt
         )
+    )
+    if data_faults:
         _info(f"fault injection on: rate {args.fault_rate:g}, "
               f"seed {args.fault_seed}")
+    if kill or hang or corrupt:
+        _info(f"process chaos on: kill {kill:g}, hang {hang:g}, "
+              f"chunk-corrupt {corrupt:g}, seed {args.fault_seed}")
 
 
 def _faults_end(args) -> None:
     """Report what the injector did, then disarm it."""
-    if getattr(args, "inject_faults", False) and FAULTS.enabled:
-        degraded = TELEMETRY.counter_value("resilience.degraded_pixels")
-        fallback = TELEMETRY.counter_value("resilience.fallback_af_pixels")
-        _info(f"fault injection: {FAULTS.total_injected} fault(s) injected, "
-              f"{degraded:g} pixel prediction(s) degraded, "
-              f"{fallback:g} pixel(s) fell back to exact AF")
+    kill, hang, corrupt = _chaos_rates(args)
+    armed = getattr(args, "inject_faults", False) or kill or hang or corrupt
+    if armed and FAULTS.enabled:
+        if getattr(args, "inject_faults", False):
+            degraded = TELEMETRY.counter_value("resilience.degraded_pixels")
+            fallback = TELEMETRY.counter_value("resilience.fallback_af_pixels")
+            _info(f"fault injection: {FAULTS.total_injected} fault(s) "
+                  f"injected, {degraded:g} pixel prediction(s) degraded, "
+                  f"{fallback:g} pixel(s) fell back to exact AF")
+        restarts = TELEMETRY.counter_value("resilience.worker_restarts")
+        retries = TELEMETRY.counter_value("resilience.chunk_retries")
+        quarantined = TELEMETRY.counter_value("resilience.jobs_quarantined")
+        if restarts or retries or quarantined:
+            _info(f"chaos: {restarts:g} worker restart(s), "
+                  f"{retries:g} chunk retry(ies), "
+                  f"{quarantined:g} job(s) quarantined")
     FAULTS.disable()
 
 
@@ -361,6 +413,7 @@ def _cmd_experiment(args) -> int:
         scale=args.scale, frames=args.frames, workloads=workloads,
         checkpoint_path=_checkpoint_path(args),
         jobs=args.jobs, capture_cache=args.capture_cache,
+        job_timeout=args.job_timeout,
     )
     _resume_begin(args, ctx)
     try:
@@ -465,6 +518,7 @@ def _cmd_report(args) -> int:
         scale=args.scale, frames=args.frames, workloads=workloads,
         checkpoint_path=_checkpoint_path(args),
         jobs=args.jobs, capture_cache=args.capture_cache,
+        job_timeout=args.job_timeout,
     )
     _resume_begin(args, ctx)
     ids = tuple(args.experiments) if args.experiments else None
@@ -611,6 +665,7 @@ def _cmd_profile(args) -> int:
             "hits": store.stats.hits,
             "misses": store.stats.misses,
             "writes": store.stats.writes,
+            "corrupt": store.stats.corrupt,
         })
     return 0
 
@@ -789,9 +844,11 @@ def main(argv=None) -> int:
     started = time.perf_counter()
     _RUN_NOTES.clear()
     _obs_begin(args)
-    _faults_begin(args)
     rc = 0
     try:
+        # inside the try: a bad --fault-rate/--chaos-* value must exit
+        # through the `error: ...` path like any other ReproError
+        _faults_begin(args)
         rc = handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -24,7 +24,13 @@ from .jobs import (
     dedupe_jobs,
     eval_job,
 )
-from .scheduler import Engine, ExecutionReport
+from .scheduler import Engine, ExecutionReport, discard_pool, shutdown_pools
+from .supervision import (
+    DEFAULT_JOB_TIMEOUT_S,
+    MAX_JOB_ATTEMPTS,
+    ChunkSupervisor,
+    chunk_deadline_s,
+)
 from .worker import (
     WorkerSpec,
     build_session,
@@ -50,6 +56,12 @@ __all__ = [
     "eval_job",
     "Engine",
     "ExecutionReport",
+    "discard_pool",
+    "shutdown_pools",
+    "DEFAULT_JOB_TIMEOUT_S",
+    "MAX_JOB_ATTEMPTS",
+    "ChunkSupervisor",
+    "chunk_deadline_s",
     "WorkerSpec",
     "build_session",
     "evaluate_job",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import re
 from dataclasses import dataclass
@@ -44,6 +45,11 @@ from ..renderer.session import FrameCapture
 
 #: Bump when renderer changes make previously stored captures stale.
 STORE_VERSION = 1
+
+#: Sibling directory (under the store root) corrupt entries are moved
+#: to instead of being overwritten in place; ``__len__`` and lookups
+#: never see it (they only glob the root itself).
+CORRUPT_SUBDIR = ".corrupt"
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -87,12 +93,16 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    corrupt: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.writes} write(s)"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt"
+        return text
 
 
 class CaptureStore:
@@ -117,15 +127,41 @@ class CaptureStore:
         try:
             capture = capture_from_npz_bytes(path.read_bytes())
         except (OSError, ValueError, KeyError, PipelineError) as exc:
-            # A stale or truncated entry is a miss, not a failure: the
-            # caller re-renders and put() replaces the bad file.
-            TELEMETRY.progress(f"capture store: dropping bad entry {path.name}: {exc}")
+            # A corrupt or truncated entry is a miss, not a failure:
+            # the caller re-renders and put() publishes a fresh copy.
+            # The bad file itself is *quarantined*, not overwritten in
+            # place — post-mortems on how it got torn need the bytes.
+            dest = self.quarantine(path)
+            where = f" -> {CORRUPT_SUBDIR}/" if dest is not None else ""
+            TELEMETRY.progress(
+                f"capture store: quarantined bad entry "
+                f"{path.name}{where}: {exc}"
+            )
             self.stats.misses += 1
             TELEMETRY.count("store.misses")
             return None
         self.stats.hits += 1
         TELEMETRY.count("store.hits")
         return capture
+
+    def quarantine(self, path: pathlib.Path) -> "pathlib.Path | None":
+        """Move a corrupt entry into the ``.corrupt/`` sibling directory.
+
+        Returns the quarantined path, or None when the file vanished
+        first (a concurrent worker already quarantined or replaced it —
+        either way the bad bytes are out of the lookup path). Counted
+        under ``store.corrupt`` and :attr:`StoreStats.corrupt` in both
+        cases: the *detection* happened here.
+        """
+        dest: "pathlib.Path | None" = self.root / CORRUPT_SUBDIR / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            dest = None
+        self.stats.corrupt += 1
+        TELEMETRY.count("store.corrupt")
+        return dest
 
     def put(self, spec: "dict[str, object]", capture: FrameCapture) -> pathlib.Path:
         """Atomically publish ``capture`` under its content key.

@@ -30,6 +30,11 @@ parked in the context's negative cache as a
 that design point, inside the module's normal isolation scope — so
 failure *reporting* (FailureRecord footers, their ordering) is also
 identical between backends and between engine and pre-engine code.
+
+That guarantee extends to *process-level* failures: chunk dispatch
+runs through :class:`~repro.engine.supervision.ChunkSupervisor`, so a
+crashed or hung worker costs a pool rebuild (see :func:`discard_pool`)
+and, at worst, the quarantine of the one poison job — never the run.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from ..errors import JobError
 from ..obs import TELEMETRY
 from ..resilience.faults import FAULTS
 from .jobs import KIND_CAPTURE, EvalJob, capture_job, dedupe_jobs
+from .supervision import ChunkSupervisor
 from .worker import WorkerSpec, init_worker, resolve_workload, run_job_chunk
 
 #: Target chunks per worker per wave. One big chunk per worker
@@ -101,6 +107,38 @@ def shutdown_pools() -> None:
     while _POOLS:
         _, executor = _POOLS.pop()
         executor.shutdown(wait=True, cancel_futures=True)
+
+
+def discard_pool(spec: WorkerSpec, jobs: int) -> bool:
+    """Evict and kill the registered pool for ``(spec, jobs)``.
+
+    The supervision path for broken or hung pools: the entry leaves the
+    shared registry first (so a concurrent ``_shared_pool`` lookup can
+    never hand out the dying executor), then the worker processes are
+    killed outright — a hung worker sleeping in a syscall won't honor a
+    cooperative shutdown, and SIGKILL is the only wake-up it can't
+    ignore. Returns True when a pool was actually evicted.
+    """
+    key = (spec, jobs)
+    for i, (pool_key, executor) in enumerate(_POOLS):
+        if pool_key == key:
+            _POOLS.pop(i)
+            _terminate_pool(executor)
+            return True
+    return False
+
+
+def _terminate_pool(executor) -> None:
+    """Kill a pool's worker processes and release the executor."""
+    try:
+        for proc in list((getattr(executor, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):
+                pass
+    except Exception:  # noqa: BLE001 — teardown must not raise
+        pass
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 atexit.register(shutdown_pools)
@@ -200,6 +238,22 @@ class Engine:
         """
         return _shared_pool(spec, self.ctx.jobs)
 
+    def _rebuild_pool(self, spec: WorkerSpec) -> None:
+        """Kill and evict the current pool; the next use re-forks it.
+
+        Called by the supervisor when the pool broke or a chunk blew
+        its deadline. Counted as one ``resilience.pool_rebuilds`` plus
+        ``jobs`` ``resilience.worker_restarts`` — the whole fleet goes
+        down with the pool.
+        """
+        if discard_pool(spec, self.ctx.jobs):
+            TELEMETRY.count("resilience.pool_rebuilds")
+            TELEMETRY.count("resilience.worker_restarts", self.ctx.jobs)
+            TELEMETRY.progress(
+                f"engine: worker pool torn down; {self.ctx.jobs} "
+                "worker(s) will restart on next dispatch"
+            )
+
     def _execute_process(self, pending, report: ExecutionReport) -> None:
         ctx = self.ctx
         store = ctx.ensure_store()
@@ -258,22 +312,31 @@ class Engine:
         # and the barrier is pure latency — fuse into a single wave.
         if not synthetic and captures_stored:
             wave1, wave2 = wave1 + wave2, []
-        executor = self._pool(spec)
+        supervisor = ChunkSupervisor(
+            pool=lambda: self._pool(spec),
+            rebuild_pool=lambda: self._rebuild_pool(spec),
+            run_chunk=run_job_chunk,
+            job_timeout=getattr(ctx, "job_timeout", None),
+        )
         for wave in (wave1, wave2):
             if not wave:
                 continue
-            submitted = []
+            # Chunks become slot-index lists into the wave; since
+            # _affine_chunks partitions the wave in planned order, a
+            # running cursor recovers each chunk's slots.
+            slot_chunks: "list[list[int]]" = []
+            cursor = 0
             for chunk in self._affine_chunks(wave):
-                submitted.append(
-                    (chunk, executor.submit(
-                        run_job_chunk, [job for job, _ in chunk]
-                    ))
-                )
-            # Submission order *is* planned order; consuming the
-            # futures in this order is the determinism guarantee.
-            for chunk, future in submitted:
-                for (job, counted), outcome in zip(chunk, future.result()):
-                    self._merge(job, outcome, report, counted=counted)
+                slot_chunks.append(list(range(cursor, cursor + len(chunk))))
+                cursor += len(chunk)
+            outcomes = supervisor.run(
+                [job for job, _ in wave], slot_chunks
+            )
+            # Merging in slot order *is* planned order — the
+            # determinism guarantee, regardless of completion order or
+            # how many retries a chunk needed.
+            for slot, (job, counted) in enumerate(wave):
+                self._merge(job, outcomes[slot], report, counted=counted)
         # Parked captures rendered by the capture wave satisfy the
         # original capture-kind jobs; aggregation loads them lazily
         # from the store.
@@ -341,10 +404,11 @@ class Engine:
         FAULTS.merge_injected(outcome[-2])
         store = ctx.capture_store
         if store is not None:
-            hits, misses, writes = outcome[-1]
+            hits, misses, writes, corrupt = outcome[-1]
             store.stats.hits += hits
             store.stats.misses += misses
             store.stats.writes += writes
+            store.stats.corrupt += corrupt
         if status == "ok":
             if counted:
                 report.executed += 1

@@ -1,0 +1,302 @@
+"""Worker supervision for the process backend: deadlines, retry, quarantine.
+
+The scheduler's happy path assumes workers are immortal: it submits
+chunks and blocks on their futures. A single crashed worker then kills
+the whole ``--jobs N`` run with ``BrokenProcessPool``, and a hung
+worker blocks ``execute()`` forever. The :class:`ChunkSupervisor`
+wraps chunk dispatch with the fault-handling the paper's thesis
+implies for the systems layer — degrade the *run*, never the surviving
+results:
+
+* **deadlines** — every chunk gets a wall-clock budget derived from
+  its job count (:func:`chunk_deadline_s`); a chunk that blows it has
+  its pool's workers killed and rebuilt;
+* **crash detection** — ``BrokenProcessPool`` (a worker died) and
+  structurally invalid result payloads (truncated/corrupted IPC, see
+  :func:`repro.resilience.guards.valid_chunk_outcomes`) are caught,
+  counted, and converted into retries instead of run aborts;
+* **bisection** — a failing multi-job chunk is split in half and the
+  halves retried *solo* (one chunk in flight), so responsibility for
+  the failure converges on the single poison job;
+* **quarantine** — a single job that keeps killing its worker is
+  retired as a synthesized ``err`` outcome, which the engine parks as
+  a :class:`~repro.errors.JobError` in the context's negative cache —
+  exactly the path in-band job failures already take, so quarantined
+  jobs surface as the same FailureRecord footers, and every *other*
+  design point stays byte-identical to a serial run.
+
+Two phases keep attribution honest. The *pipelined* phase submits all
+chunks at once for throughput; when the pool breaks there, every
+in-flight future fails at once, so innocent chunks are requeued
+without charging them an attempt. The *solo recovery* phase runs one
+chunk at a time — any failure there is unambiguously that chunk's.
+
+Telemetry: ``resilience.worker_restarts`` / ``resilience.pool_rebuilds``
+(counted by the scheduler's rebuild callback), and per-event
+``resilience.chunk_retries`` / ``resilience.jobs_quarantined`` /
+``resilience.corrupt_chunks`` / ``resilience.deadline_expirations``
+counted here — all of which flow into the run ledger.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+from ..obs import TELEMETRY
+from ..resilience.guards import valid_chunk_outcomes
+
+#: Default per-job wall-clock budget (seconds). Generous on purpose:
+#: deadlines exist to reap *hung* workers, not to race healthy ones —
+#: the slowest legitimate job (a full-resolution stereo render on a
+#: loaded CI box) must fit with a wide margin. ``--job-timeout``
+#: overrides it; 0 disables deadlines entirely.
+DEFAULT_JOB_TIMEOUT_S = 300.0
+
+#: Solo attempts a single-job chunk gets before quarantine. Each
+#: attempt against a crashing job costs a pool rebuild, so the bound
+#: is deliberately small: one failure to implicate the job, one more
+#: to rule out a coincidence.
+MAX_JOB_ATTEMPTS = 2
+
+#: Base of the linear retry backoff (seconds); sleeps grow with the
+#: chunk's attempt count and cap at 1 s.
+RETRY_BACKOFF_S = 0.05
+
+#: Exceptions that mean "the pool (or its IPC channel) died", as
+#: opposed to a payload problem.
+_POOL_FAILURES = (BrokenProcessPool, OSError, EOFError)
+
+
+def chunk_deadline_s(
+    n_jobs: int, job_timeout: "float | None"
+) -> "float | None":
+    """Wall-clock budget for one chunk, or None when deadlines are off.
+
+    The budget is ``per-job timeout x (jobs + 1)`` — linear in the
+    work, with one extra job's worth of slack for dispatch, store I/O
+    and interpreter startup noise.
+    """
+    per_job = DEFAULT_JOB_TIMEOUT_S if job_timeout is None else job_timeout
+    if per_job <= 0:
+        return None
+    return per_job * (n_jobs + 1)
+
+
+class ChunkSupervisor:
+    """Runs one wave's chunks to completion despite dying workers.
+
+    Parameters are callbacks so the supervisor stays decoupled from
+    the pool registry: ``pool()`` returns the current executor
+    (creating it on demand), ``rebuild_pool()`` kills and evicts it
+    (the next ``pool()`` call forks a fresh one), ``run_chunk`` is the
+    picklable function submitted per chunk.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool,
+        rebuild_pool,
+        run_chunk,
+        job_timeout: "float | None" = None,
+        max_attempts: int = MAX_JOB_ATTEMPTS,
+        backoff_s: float = RETRY_BACKOFF_S,
+    ) -> None:
+        self._pool = pool
+        self._rebuild_pool = rebuild_pool
+        self._run_chunk = run_chunk
+        self.job_timeout = job_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_s = backoff_s
+
+    # -- entry point ----------------------------------------------------
+
+    def run(
+        self, jobs: "list", chunks: "list[list[int]]"
+    ) -> "dict[int, tuple]":
+        """Execute every chunk; returns an outcome for *every* slot.
+
+        ``chunks`` holds slot indices into ``jobs`` (planned order).
+        Successful slots map to the worker's outcome tuple; quarantined
+        slots map to a synthesized ``err`` outcome, so the caller's
+        merge loop handles both uniformly and never sees a hole.
+        """
+        results: "dict[int, tuple]" = {}
+        queue: "collections.deque[tuple[tuple[int, ...], int]]" = (
+            collections.deque((tuple(chunk), 0) for chunk in chunks)
+        )
+        self._pipelined_phase(jobs, queue, results)
+        while queue:
+            self._solo_attempt(jobs, queue.popleft(), queue, results)
+        return results
+
+    # -- pipelined phase ------------------------------------------------
+
+    def _pipelined_phase(self, jobs, queue, results) -> None:
+        """Submit everything at once; demote failures to the queue.
+
+        Collateral chunks of a pool break are requeued *without* an
+        attempt charge — when the pool dies, every in-flight future
+        fails, and only the solo phase can tell whose fault it was.
+        """
+        if not queue:
+            return
+        executor = self._pool()
+        submitted = []
+        broken = False
+        while queue:
+            slots, attempts = queue.popleft()
+            try:
+                future = executor.submit(
+                    self._run_chunk, [jobs[i] for i in slots]
+                )
+            except Exception:  # noqa: BLE001 — pool already broken
+                queue.appendleft((slots, attempts))
+                self._rebuild_pool()
+                broken = True
+                break
+            submitted.append((slots, attempts, future))
+        # Submission order *is* planned order; consuming the futures in
+        # this order is (still) the determinism guarantee.
+        for slots, attempts, future in submitted:
+            if broken:
+                self._harvest(slots, attempts, future, queue, results)
+                continue
+            try:
+                outcomes = future.result(
+                    timeout=chunk_deadline_s(len(slots), self.job_timeout)
+                )
+            except concurrent.futures.TimeoutError:
+                TELEMETRY.count("resilience.deadline_expirations")
+                TELEMETRY.count("resilience.chunk_retries")
+                TELEMETRY.progress(
+                    f"supervisor: chunk of {len(slots)} job(s) missed its "
+                    "deadline; killing workers and retrying"
+                )
+                queue.append((slots, attempts + 1))
+                self._rebuild_pool()
+                broken = True
+            except _POOL_FAILURES as exc:
+                TELEMETRY.count("resilience.chunk_retries")
+                TELEMETRY.progress(
+                    f"supervisor: worker pool broke under a chunk of "
+                    f"{len(slots)} job(s) ({type(exc).__name__}); "
+                    "rebuilding and retrying"
+                )
+                queue.append((slots, attempts))
+                self._rebuild_pool()
+                broken = True
+            except Exception:  # noqa: BLE001 — result deserialization
+                TELEMETRY.count("resilience.corrupt_chunks")
+                TELEMETRY.count("resilience.chunk_retries")
+                queue.append((slots, attempts + 1))
+            else:
+                if valid_chunk_outcomes(outcomes, len(slots)):
+                    results.update(zip(slots, outcomes))
+                else:
+                    TELEMETRY.count("resilience.corrupt_chunks")
+                    TELEMETRY.count("resilience.chunk_retries")
+                    TELEMETRY.progress(
+                        "supervisor: corrupted result payload for a chunk "
+                        f"of {len(slots)} job(s); retrying"
+                    )
+                    queue.append((slots, attempts + 1))
+
+    def _harvest(self, slots, attempts, future, queue, results) -> None:
+        """Salvage a future after the pool broke mid-wave.
+
+        Chunks that finished before the break keep their results;
+        everything else goes back on the queue uncharged.
+        """
+        outcomes = None
+        if future.done():
+            try:
+                outcomes = future.result(timeout=0)
+            except Exception:  # noqa: BLE001 — died with the pool
+                outcomes = None
+        if outcomes is not None and valid_chunk_outcomes(outcomes, len(slots)):
+            results.update(zip(slots, outcomes))
+        else:
+            queue.append((slots, attempts))
+
+    # -- solo recovery phase --------------------------------------------
+
+    def _solo_attempt(self, jobs, entry, queue, results) -> None:
+        """One chunk, alone in the pool — failures are *its* failures."""
+        slots, attempts = entry
+        if attempts:
+            time.sleep(min(1.0, self.backoff_s * attempts))
+        try:
+            executor = self._pool()
+            future = executor.submit(
+                self._run_chunk, [jobs[i] for i in slots]
+            )
+            outcomes = future.result(
+                timeout=chunk_deadline_s(len(slots), self.job_timeout)
+            )
+        except concurrent.futures.TimeoutError:
+            TELEMETRY.count("resilience.deadline_expirations")
+            self._rebuild_pool()
+            deadline = chunk_deadline_s(len(slots), self.job_timeout)
+            self._failed(
+                slots, attempts + 1, queue, results,
+                "WorkerTimeoutError",
+                f"worker exceeded the {deadline:.1f}s chunk deadline",
+            )
+            return
+        except _POOL_FAILURES as exc:
+            self._rebuild_pool()
+            self._failed(
+                slots, attempts + 1, queue, results,
+                "WorkerCrashError",
+                f"worker process died ({type(exc).__name__}: {exc})",
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — result deserialization
+            TELEMETRY.count("resilience.corrupt_chunks")
+            self._failed(
+                slots, attempts + 1, queue, results,
+                "ChunkCorruptionError",
+                f"chunk result failed to deserialize "
+                f"({type(exc).__name__}: {exc})",
+            )
+            return
+        if valid_chunk_outcomes(outcomes, len(slots)):
+            results.update(zip(slots, outcomes))
+        else:
+            TELEMETRY.count("resilience.corrupt_chunks")
+            self._failed(
+                slots, attempts + 1, queue, results,
+                "ChunkCorruptionError",
+                "truncated or corrupted chunk result payload",
+            )
+
+    def _failed(
+        self, slots, attempts, queue, results, etype: str, message: str
+    ) -> None:
+        """Bisect a guilty multi-job chunk; retire a guilty single job."""
+        TELEMETRY.count("resilience.chunk_retries")
+        if len(slots) > 1:
+            mid = len(slots) // 2
+            queue.append((slots[:mid], attempts))
+            queue.append((slots[mid:], attempts))
+            return
+        if attempts >= self.max_attempts:
+            self._quarantine(slots[0], results, etype, message)
+        else:
+            queue.append((slots, attempts))
+
+    def _quarantine(self, slot, results, etype: str, message: str) -> None:
+        TELEMETRY.count("resilience.jobs_quarantined")
+        TELEMETRY.progress(
+            f"supervisor: quarantined job after {self.max_attempts} "
+            f"attempt(s): {etype}: {message}"
+        )
+        results[slot] = (
+            "err", etype,
+            f"quarantined after {self.max_attempts} attempt(s): {message}",
+            None, None, (0, 0, 0, 0),
+        )

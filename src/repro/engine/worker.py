@@ -19,6 +19,8 @@ workers converge on one stored copy per frame.
 from __future__ import annotations
 
 import gc
+import os
+import time
 from dataclasses import dataclass
 from dataclasses import replace as dataclasses_replace
 
@@ -265,12 +267,56 @@ def init_worker(spec: WorkerSpec) -> None:
         gc.freeze()
 
 
-def _store_delta(before: "tuple[int, int, int]") -> "tuple[int, int, int]":
+#: Exit status a chaos-killed worker dies with (any nonzero works; the
+#: parent only ever sees BrokenProcessPool).
+CHAOS_EXIT_CODE = 86
+
+#: How long an injected hang sleeps. Effectively forever — the parent's
+#: chunk deadline is what ends it, by killing the worker.
+_CHAOS_HANG_S = 3600.0
+
+
+def chaos_identity(job: EvalJob) -> str:
+    """The stable identity string chaos decisions are keyed by.
+
+    Built from the job's own fields (frozen dataclasses with
+    deterministic reprs), *not* ``hash()`` — Python string hashing is
+    process-salted, and chaos marks must agree across workers, retries,
+    machines and the seed-scanning done by tests/CI.
+    """
+    return (
+        f"{job.kind}|{job.workload}|f{job.frame}|{job.scenario}"
+        f"|t{job.threshold!r}|{job.config_key!r}"
+    )
+
+
+def _chaos_site(job: EvalJob) -> None:
+    """Process-level chaos: maybe kill or hang this worker for ``job``.
+
+    Runs only in pool workers (serial execution never enters this
+    module's chunk path), so injected crashes exercise the parent's
+    supervision layer without ever taking down the parent itself.
+    ``os._exit`` skips cleanup handlers on purpose — a real crash
+    wouldn't run them either.
+    """
+    if not FAULTS.enabled:
+        return
+    identity = chaos_identity(job)
+    if FAULTS.should_kill_worker(identity):
+        os._exit(CHAOS_EXIT_CODE)
+    if FAULTS.should_hang_worker(identity):
+        time.sleep(_CHAOS_HANG_S)
+
+
+def _store_delta(
+    before: "tuple[int, int, int, int]",
+) -> "tuple[int, int, int, int]":
     stats = _STATE.store.stats
     return (
         stats.hits - before[0],
         stats.misses - before[1],
         stats.writes - before[2],
+        stats.corrupt - before[3],
     )
 
 
@@ -304,7 +350,8 @@ def run_job(job: EvalJob) -> tuple:
     TELEMETRY.reset()
     FAULTS.injected = {}
     stats = _STATE.store.stats
-    before = (stats.hits, stats.misses, stats.writes)
+    before = (stats.hits, stats.misses, stats.writes, stats.corrupt)
+    _chaos_site(job)
     status, a, b = _execute_one(job)
     if status == "err":
         return (
@@ -331,18 +378,22 @@ def run_job_chunk(jobs: "list[EvalJob]") -> "list[tuple]":
     TELEMETRY.reset()
     FAULTS.injected = {}
     stats = _STATE.store.stats
-    before = (stats.hits, stats.misses, stats.writes)
+    before = (stats.hits, stats.misses, stats.writes, stats.corrupt)
     outcomes: "list[tuple]" = []
     for job in jobs:
+        _chaos_site(job)
         status, a, b = _execute_one(job)
         if status == "err":
-            outcomes.append(("err", a, b, None, None, (0, 0, 0)))
+            outcomes.append(("err", a, b, None, None, (0, 0, 0, 0)))
         else:
-            outcomes.append(("ok", a, None, None, (0, 0, 0)))
+            outcomes.append(("ok", a, None, None, (0, 0, 0, 0)))
     if outcomes:
         tail = outcomes[-1]
         outcomes[-1] = tail[:-3] + (
             TELEMETRY.snapshot_remote(), dict(FAULTS.injected),
             _store_delta(before),
+        )
+        outcomes = FAULTS.corrupt_chunk_payload(
+            outcomes, chaos_identity(jobs[-1])
         )
     return outcomes

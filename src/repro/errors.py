@@ -91,3 +91,26 @@ class CheckpointError(ResilienceError):
 
 class FaultInjectionError(ResilienceError):
     """The fault-injection harness was configured incorrectly."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A pool worker process died while executing a chunk.
+
+    The supervision layer never lets this escape ``execute()``: the
+    broken pool is torn down and rebuilt, the chunk is retried and
+    bisected, and a job that reproducibly kills its worker is parked as
+    a :class:`JobError` carrying this type's name.
+    """
+
+
+class WorkerTimeoutError(ResilienceError):
+    """A pool worker exceeded its chunk's wall-clock deadline.
+
+    Deadlines are derived from the chunk's job count and the
+    ``--job-timeout`` budget; a hung worker is killed and its chunk
+    handled exactly like a crash (retry, bisect, quarantine).
+    """
+
+
+class ChunkCorruptionError(ResilienceError):
+    """A chunk's IPC result payload was truncated or malformed."""

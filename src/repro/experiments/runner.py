@@ -186,7 +186,9 @@ class ExperimentContext:
     ``jobs`` selects the engine backend (1 = serial in-process, >1 = a
     process pool of that size); ``capture_cache`` attaches a persistent
     on-disk capture store (parallel runs without one get a temporary
-    store for the worker handoff). With ``checkpoint_path`` set, every
+    store for the worker handoff); ``job_timeout`` sets the per-job
+    wall-clock budget the process backend's worker supervision derives
+    chunk deadlines from (None = 300 s default, 0 = no deadlines). With ``checkpoint_path`` set, every
     completed job's metrics dict is persisted (atomically, every
     ``checkpoint_every`` new evaluations and at each experiment end)
     and :meth:`load_checkpoint` seeds the cache so resumed sweeps skip
@@ -204,6 +206,7 @@ class ExperimentContext:
         checkpoint_every: int = 16,
         jobs: int = 1,
         capture_cache: "str | pathlib.Path | None" = None,
+        job_timeout: "float | None" = None,
     ) -> None:
         if frames < 1:
             raise ExperimentError("need at least one frame per workload")
@@ -214,6 +217,9 @@ class ExperimentContext:
         self.workload_list = workloads
         self.base_config = config
         self.jobs = jobs
+        #: Per-job wall-clock budget for process-backend chunk
+        #: deadlines (None = supervision default, 0 disables).
+        self.job_timeout = job_timeout
         self.session = RenderSession(config, scale=scale)
         self._captures: "dict[tuple[str, int, CaptureVariant], FrameCapture]" = {}
         self._results: "dict[tuple, FrameResult]" = {}

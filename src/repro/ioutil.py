@@ -15,8 +15,10 @@ linear backoff before the error propagates.
 
 from __future__ import annotations
 
+import errno
 import os
 import pathlib
+import sys
 import time
 
 #: Default bounded-retry policy for transient OSErrors.
@@ -51,16 +53,31 @@ def atomic_append_text(
     file or old + appended text, never a torn tail. Used by the run
     ledger, whose records are small and infrequent enough that the
     read-modify-replace cost never matters.
+
+    Unlike the artifact writers, a **full disk** (``ENOSPC``) degrades
+    to a one-line stderr warning instead of raising: appends carry
+    observability (ledger records), and a run that computed its results
+    must not fail because its history could not be written. Every other
+    ``OSError`` still propagates after the bounded retries.
     """
     path = pathlib.Path(path)
     try:
         existing = path.read_bytes()
     except FileNotFoundError:
         existing = b""
-    return atomic_write_bytes(
-        path, existing + text.encode("utf-8"),
-        retries=retries, backoff_s=backoff_s,
-    )
+    try:
+        return atomic_write_bytes(
+            path, existing + text.encode("utf-8"),
+            retries=retries, backoff_s=backoff_s,
+        )
+    except OSError as exc:
+        if exc.errno != errno.ENOSPC:
+            raise
+        print(
+            f"warning: append to {path} skipped: no space left on device",
+            file=sys.stderr,
+        )
+        return path
 
 
 def atomic_write_bytes(

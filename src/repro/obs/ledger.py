@@ -116,6 +116,25 @@ def quality_rollup(telemetry) -> "dict[str, object]":
     return out
 
 
+def resilience_rollup(telemetry) -> "dict[str, float]":
+    """Fault-handling counters of one run, zero-suppressed.
+
+    Collects every ``resilience.*`` counter — worker restarts, pool
+    rebuilds, chunk retries, quarantined jobs, corrupt chunks — plus
+    ``store.corrupt``, so a ledger reader can see at a glance whether
+    a run needed its supervision layer. All of these also land in the
+    flat ``metrics`` map (as ``counter.<name>``) for trend analysis.
+    """
+    if telemetry is None:
+        return {}
+    totals = telemetry.metrics.counter_totals()
+    return {
+        name: float(value)
+        for name, value in sorted(totals.items())
+        if value and (name.startswith("resilience.") or name == "store.corrupt")
+    }
+
+
 def trend_metrics(
     telemetry=None,
     *,
@@ -197,6 +216,7 @@ def build_record(
         "quality": (
             quality_rollup(telemetry) if telemetry is not None else {}
         ),
+        "resilience": resilience_rollup(telemetry),
         "metrics": trend_metrics(
             telemetry, store=store,
             extra={"duration_s": duration_s, **(metrics or {})},

@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 from .checkpoint import SCHEMA_VERSION, load_checkpoint, save_checkpoint
 from .faults import FAULTS, FaultInjector, FaultPlan
-from .guards import DegradedResult, safe_anisotropy, safe_txds, sanitize_colors
+from .guards import (
+    DegradedResult,
+    safe_anisotropy,
+    safe_txds,
+    sanitize_colors,
+    valid_chunk_outcome,
+    valid_chunk_outcomes,
+)
 
 
 @dataclass(frozen=True)
@@ -62,4 +69,6 @@ __all__ = [
     "safe_txds",
     "sanitize_colors",
     "save_checkpoint",
+    "valid_chunk_outcome",
+    "valid_chunk_outcomes",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, fields
+from dataclasses import replace as dataclass_replace
 
 import numpy as np
 
@@ -49,13 +50,22 @@ _COUNT_TAG_BITS = 5
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Per-category injection rates (fraction of elements corrupted)."""
+    """Per-category injection rates (fraction of elements corrupted).
+
+    The ``worker_*`` / ``chunk_*`` rates drive *process-level* chaos in
+    pool workers (self-kill, hang, corrupted IPC payloads) and are
+    decided per job identity, not per call — see
+    :meth:`FaultInjector.chaos_decision`.
+    """
 
     seed: int = 0
     texel_rate: float = 0.0
     hash_rate: float = 0.0
     count_tag_rate: float = 0.0
     drop_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    chunk_corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -69,10 +79,30 @@ class FaultPlan:
 
     @classmethod
     def uniform(cls, rate: float, *, seed: int = 0) -> "FaultPlan":
-        """The same rate for every fault category."""
+        """The same rate for every *data* fault category.
+
+        Process-level chaos rates stay zero: killing workers is a very
+        different blast radius from corrupting texels, so chaos is
+        always opted into per category (see :meth:`with_chaos`).
+        """
         return cls(
             seed=seed, texel_rate=rate, hash_rate=rate,
             count_tag_rate=rate, drop_rate=rate,
+        )
+
+    def with_chaos(
+        self,
+        *,
+        kill: float = 0.0,
+        hang: float = 0.0,
+        corrupt: float = 0.0,
+    ) -> "FaultPlan":
+        """This plan with process-level chaos rates set."""
+        return dataclass_replace(
+            self,
+            worker_kill_rate=kill,
+            worker_hang_rate=hang,
+            chunk_corrupt_rate=corrupt,
         )
 
     @property
@@ -214,6 +244,62 @@ class FaultInjector:
         flat[mask] = prev[mask]
         self._record(site, "faults.dropped_fetches", count)
         return out
+
+    # -- process-level chaos (pool workers) -----------------------------
+    #
+    # Data faults above are decided per *call* (site call counters),
+    # because the same site runs many times per frame. Process chaos is
+    # decided per *job identity*: a marked job crashes or hangs its
+    # worker every time it is attempted, on any machine — which is what
+    # lets the supervisor's bisection deterministically isolate it, and
+    # lets tests and CI precompute which jobs a seed marks.
+
+    def _chaos_rng(self, site: str, identity: str) -> np.random.Generator:
+        return np.random.default_rng((
+            self.plan.seed,
+            zlib.crc32(site.encode("utf-8")),
+            zlib.crc32(identity.encode("utf-8")),
+        ))
+
+    def chaos_decision(self, site: str, identity: str, rate: float) -> bool:
+        """Deterministic per-identity coin flip for a chaos site."""
+        if not self.enabled or rate <= 0.0:
+            return False
+        return bool(self._chaos_rng(site, identity).random() < rate)
+
+    def should_kill_worker(self, identity: str) -> bool:
+        """Should the worker executing ``identity`` self-kill now?"""
+        return self.chaos_decision(
+            "chaos.worker_kill", identity, self.plan.worker_kill_rate
+        )
+
+    def should_hang_worker(self, identity: str) -> bool:
+        """Should the worker executing ``identity`` hang now?"""
+        return self.chaos_decision(
+            "chaos.worker_hang", identity, self.plan.worker_hang_rate
+        )
+
+    def corrupt_chunk_payload(
+        self, outcomes: "list[tuple]", identity: str
+    ) -> "list[tuple]":
+        """Maybe mangle a chunk's IPC result payload (worker side).
+
+        Models a truncated or garbled inter-process transfer: the list
+        loses its tail outcome, or an outcome's status tag is replaced
+        with garbage. The parent's structural validation
+        (:func:`repro.resilience.guards.valid_chunk_outcomes`) must
+        catch either shape and retry the chunk.
+        """
+        if not self.enabled or self.plan.chunk_corrupt_rate <= 0.0:
+            return outcomes
+        if not self.chaos_decision(
+            "chaos.chunk_corrupt", identity, self.plan.chunk_corrupt_rate
+        ):
+            return outcomes
+        rng = self._chaos_rng("chaos.chunk_corrupt_mode", identity)
+        if len(outcomes) > 1 and rng.random() < 0.5:
+            return outcomes[:-1]  # truncated payload
+        return [("garbage", None)] + outcomes[1:]  # garbled first outcome
 
 
 #: The process-wide injector used by all instrumented sites.

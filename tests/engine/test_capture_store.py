@@ -10,6 +10,7 @@ import pytest
 
 import repro
 from repro.engine.capture_store import (
+    CORRUPT_SUBDIR,
     CaptureStore,
     capture_spec,
     spec_digest,
@@ -146,3 +147,51 @@ class TestTelemetryAgreement:
         store.get(spec)
         assert (store.stats.hits, store.stats.misses) == (1, 1)
         assert TELEMETRY.counter_value("store.hits") == 0
+
+
+class TestQuarantine:
+    @pytest.fixture(autouse=True)
+    def _disabled_after(self):
+        yield
+        TELEMETRY.enabled = False
+
+    def _plant_garbage(self, store, capture):
+        spec = capture_spec(capture.workload_name, 0, **SPEC_KWARGS)
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        return spec, path
+
+    def test_bad_entry_moves_to_corrupt_sibling(self, store, capture):
+        spec, path = self._plant_garbage(store, capture)
+        assert store.get(spec) is None
+        assert not path.exists()  # out of the lookup path...
+        quarantined = store.root / CORRUPT_SUBDIR / path.name
+        assert quarantined.read_bytes() == b"not an npz archive"  # ...bytes kept
+        assert store.stats.corrupt == 1
+        # the slot is immediately reusable
+        store.put(spec, capture)
+        assert store.get(spec) is not None
+
+    def test_corrupt_counter_and_stats_text(self, store, capture):
+        TELEMETRY.reset()
+        TELEMETRY.enabled = True
+        spec, _path = self._plant_garbage(store, capture)
+        store.get(spec)
+        assert TELEMETRY.counter_value("store.corrupt") == store.stats.corrupt == 1
+        assert str(store.stats) == "0 hit(s), 1 miss(es), 0 write(s), 1 corrupt"
+
+    def test_stats_text_omits_corrupt_when_zero(self, store):
+        assert "corrupt" not in str(store.stats)
+
+    def test_quarantined_entries_are_invisible_to_len(self, store, capture):
+        store.put(capture_spec("good", 0, **SPEC_KWARGS), capture)
+        spec, _path = self._plant_garbage(store, capture)
+        store.get(spec)
+        assert len(store) == 1
+
+    def test_vanished_file_still_counts_detection(self, store, tmp_path):
+        missing = store.root / "ghost.npz"
+        store.root.mkdir(parents=True, exist_ok=True)
+        assert store.quarantine(missing) is None
+        assert store.stats.corrupt == 1

@@ -1,0 +1,220 @@
+"""Process-level chaos tests: real pools, killed/hung workers.
+
+Each test scans fault seeds for a :class:`FaultPlan` that marks a
+known subset of its job plan (chaos decisions are keyed by job
+identity, so tests can precompute exactly which jobs a seed hits),
+then runs the process backend and asserts the supervision contract:
+the run completes, surviving design points match a fault-free serial
+run exactly, and only the marked jobs end up quarantined.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine.jobs import capture_job, eval_job
+from repro.engine.worker import chaos_identity
+from repro.errors import JobError
+from repro.experiments.runner import ExperimentContext
+from repro.obs import TELEMETRY
+from repro.resilience import FAULTS
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+WL = "wolf-640x480"
+SCALE = 0.125
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def make_ctx(**kwargs):
+    return ExperimentContext(scale=SCALE, frames=1, workloads=(WL,), **kwargs)
+
+
+_DECIDERS = {
+    "kill": lambda probe, identity: probe.should_kill_worker(identity),
+    "hang": lambda probe, identity: probe.should_hang_worker(identity),
+    "corrupt": lambda probe, identity: probe.chaos_decision(
+        "chaos.chunk_corrupt", identity, probe.plan.chunk_corrupt_rate
+    ),
+}
+
+
+def _scan_seed(evals, site, *, want, seeds=range(500), **chaos):
+    """First seed whose chaos marks over ``evals`` satisfy ``want``.
+
+    The capture job must always stay unmarked — chaos on the capture
+    wave would quarantine every dependent eval and the test could no
+    longer attribute failures to the jobs it planned.
+    """
+    cap_identity = chaos_identity(capture_job(WL, 0))
+    probe = FaultInjector()
+    decide = _DECIDERS[site]
+    for seed in seeds:
+        probe.configure(FaultPlan(seed=seed).with_chaos(**chaos))
+        marks = [decide(probe, chaos_identity(job)) for job in evals]
+        if want(marks) and not decide(probe, cap_identity):
+            return seed, marks
+    pytest.fail(f"no seed in {seeds!r} marks {site} jobs as required")
+
+
+def _serial_reference(plan):
+    """Fault-free serial metrics for every job in ``plan``."""
+    FAULTS.reset()
+    ctx = make_ctx()
+    ctx.execute(plan)
+    return {
+        job: ctx.frame_metrics(job.workload, job.frame, job.scenario,
+                               job.threshold)
+        for job in plan
+    }
+
+
+@pytest.fixture
+def telemetry():
+    TELEMETRY.reset()
+    TELEMETRY.enabled = True
+    yield TELEMETRY
+    TELEMETRY.enabled = False
+    TELEMETRY.reset()
+
+
+class TestWorkerKill:
+    def test_killed_workers_quarantine_only_marked_jobs(
+        self, tmp_path, telemetry
+    ):
+        plan = [eval_job(WL, 0, "patu", t) for t in (0.2, 0.4, 0.6, 0.8)]
+        seed, marks = _scan_seed(
+            plan, "kill", kill=0.3,
+            want=lambda m: any(m) and not all(m),
+        )
+        reference = _serial_reference(plan)
+
+        FAULTS.configure(FaultPlan(seed=seed).with_chaos(kill=0.3))
+        ctx = make_ctx(jobs=2, job_timeout=30.0,
+                       capture_cache=tmp_path / "captures")
+        report = ctx.execute(plan)
+
+        assert report.planned == len(plan)
+        assert report.failed == sum(marks)
+        assert report.executed == len(plan) - sum(marks)
+        for job, marked in zip(plan, marks):
+            if marked:
+                with pytest.raises(JobError) as excinfo:
+                    ctx.frame_metrics(WL, 0, job.scenario, job.threshold)
+                assert excinfo.value.error_type == "WorkerCrashError"
+                assert "quarantined" in str(excinfo.value)
+            else:
+                # survivors are byte-identical to the fault-free
+                # serial run — supervision never degrades results
+                metrics = ctx.frame_metrics(WL, 0, job.scenario,
+                                            job.threshold)
+                assert metrics == reference[job]
+        assert telemetry.counter_value("resilience.worker_restarts") > 0
+        assert telemetry.counter_value("resilience.pool_rebuilds") > 0
+        assert (telemetry.counter_value("resilience.jobs_quarantined")
+                == sum(marks))
+
+    def test_quarantined_jobs_become_failure_records(self, tmp_path):
+        plan = [eval_job(WL, 0, "patu", t) for t in (0.2, 0.4, 0.6, 0.8)]
+        seed, marks = _scan_seed(
+            plan, "kill", kill=0.3,
+            want=lambda m: any(m) and not all(m),
+        )
+        FAULTS.configure(FaultPlan(seed=seed).with_chaos(kill=0.3))
+        ctx = make_ctx(jobs=2, job_timeout=30.0,
+                       capture_cache=tmp_path / "captures")
+        ctx.execute(plan)
+        # Aggregate the way experiment modules do: each replayed
+        # quarantine becomes a FailureRecord footer, not an abort.
+        for job in plan:
+            with ctx.isolate(WL, 0):
+                ctx.frame_metrics(WL, 0, job.scenario, job.threshold)
+        records = ctx.drain_failures()
+        assert len(records) == sum(marks)
+        for record in records:
+            assert record.error_type == "WorkerCrashError"
+            assert "quarantined" in record.message
+
+
+class TestWorkerHang:
+    def test_hung_worker_is_reaped_within_the_deadline(
+        self, tmp_path, telemetry
+    ):
+        plan = [eval_job(WL, 0, "patu", t) for t in (0.3, 0.7)]
+        seed, marks = _scan_seed(
+            plan, "hang", hang=0.4,
+            want=lambda m: sum(m) == 1,
+        )
+        reference = _serial_reference(plan)
+
+        # Pre-warm the store so the chaos run only executes evals and
+        # the hang hits the job we marked, not a capture.
+        cache = tmp_path / "captures"
+        warm = make_ctx(capture_cache=cache)
+        warm.execute(plan)
+
+        FAULTS.configure(FaultPlan(seed=seed).with_chaos(hang=0.4))
+        ctx = make_ctx(jobs=2, job_timeout=1.0, capture_cache=cache)
+        started = time.monotonic()
+        report = ctx.execute(plan)
+        elapsed = time.monotonic() - started
+
+        assert elapsed < 30.0  # not the 3600s the worker slept for
+        assert report.failed == 1
+        hung = plan[marks.index(True)]
+        survivor = plan[marks.index(False)]
+        with pytest.raises(JobError) as excinfo:
+            ctx.frame_metrics(WL, 0, hung.scenario, hung.threshold)
+        assert excinfo.value.error_type == "WorkerTimeoutError"
+        assert "deadline" in str(excinfo.value)
+        metrics = ctx.frame_metrics(WL, 0, survivor.scenario,
+                                    survivor.threshold)
+        assert metrics == reference[survivor]
+        assert telemetry.counter_value("resilience.deadline_expirations") > 0
+
+
+class TestChunkCorruption:
+    def test_corrupted_payloads_are_quarantined_not_merged(
+        self, tmp_path, telemetry
+    ):
+        plan = [eval_job(WL, 0, "patu", t) for t in (0.2, 0.4, 0.6, 0.8)]
+        # Mark every eval: whatever job ends a chunk, its payload is
+        # mangled, so the run must quarantine the entire eval wave
+        # while the (unmarked) capture wave still lands in the store.
+        seed, _marks = _scan_seed(
+            plan, "corrupt", corrupt=0.8, want=all,
+        )
+        FAULTS.configure(FaultPlan(seed=seed).with_chaos(corrupt=0.8))
+        cache = tmp_path / "captures"
+        ctx = make_ctx(jobs=2, job_timeout=30.0, capture_cache=cache)
+        report = ctx.execute(plan)
+
+        assert report.failed == len(plan)
+        for job in plan:
+            with pytest.raises(JobError) as excinfo:
+                ctx.frame_metrics(WL, 0, job.scenario, job.threshold)
+            assert excinfo.value.error_type == "ChunkCorruptionError"
+        assert telemetry.counter_value("resilience.corrupt_chunks") > 0
+        assert ctx.capture_store_stats().writes >= 1  # capture survived
+
+
+class TestChaosCli:
+    def test_total_worker_loss_still_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "fig5.txt"
+        rc = main([
+            "experiment", "fig5",
+            "--workloads", WL, "--frames", "1", "--scale", str(SCALE),
+            "--jobs", "2", "--chaos-worker-kill", "1.0",
+            "--job-timeout", "60",
+            "--capture-cache", str(tmp_path / "captures"),
+            "--out", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert out.exists()
+        assert "process chaos on:" in captured.err
+        assert "chaos:" in captured.err
+        assert "quarantined" in captured.err

@@ -1,0 +1,255 @@
+"""ChunkSupervisor unit tests: deadlines, bisection, quarantine.
+
+These drive the supervisor with fake executors (synchronously
+completed futures), so every failure mode — crash, hang, corrupted
+payload, transient flake — is exercised without forking a single
+process. Real-pool behavior is covered by ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.engine.supervision import (
+    DEFAULT_JOB_TIMEOUT_S,
+    ChunkSupervisor,
+    chunk_deadline_s,
+)
+from repro.obs import TELEMETRY
+from repro.resilience.guards import valid_chunk_outcome, valid_chunk_outcomes
+
+
+def ok(job) -> tuple:
+    return ("ok", {"value": float(job)}, None, None, (0, 0, 0, 0))
+
+
+class FakeFuture:
+    def __init__(self, value=None, exc=None):
+        self._value = value
+        self._exc = exc
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout=None):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class FakeHang(Exception):
+    """Raised by a behavior to simulate a chunk that never returns."""
+
+
+class FakePool:
+    """Executor double: ``behavior(chunk_jobs)`` decides each outcome."""
+
+    def __init__(self, behavior):
+        self.behavior = behavior
+        self.submissions: "list[list]" = []
+
+    def submit(self, _fn, chunk_jobs):
+        self.submissions.append(list(chunk_jobs))
+        try:
+            value = self.behavior(chunk_jobs)
+        except FakeHang:
+            return FakeFuture(exc=concurrent.futures.TimeoutError())
+        except Exception as exc:  # noqa: BLE001 — test double
+            return FakeFuture(exc=exc)
+        return FakeFuture(value=value)
+
+
+def make_supervisor(behavior, **kwargs):
+    pool = FakePool(behavior)
+    rebuilds = []
+    supervisor = ChunkSupervisor(
+        pool=lambda: pool,
+        rebuild_pool=lambda: rebuilds.append(1),
+        run_chunk=lambda jobs: None,
+        backoff_s=0.0,
+        **kwargs,
+    )
+    return supervisor, pool, rebuilds
+
+
+@pytest.fixture
+def telemetry():
+    TELEMETRY.reset()
+    TELEMETRY.enabled = True
+    yield TELEMETRY
+    TELEMETRY.enabled = False
+    TELEMETRY.reset()
+
+
+class TestDeadlines:
+    def test_default_budget_scales_with_job_count(self):
+        assert chunk_deadline_s(3, None) == DEFAULT_JOB_TIMEOUT_S * 4
+
+    def test_override_replaces_the_default(self):
+        assert chunk_deadline_s(1, 2.0) == 4.0
+
+    def test_zero_disables_deadlines(self):
+        assert chunk_deadline_s(5, 0) is None
+        assert chunk_deadline_s(5, -1.0) is None
+
+
+class TestOutcomeValidation:
+    def test_accepts_both_wire_shapes(self):
+        assert valid_chunk_outcome(ok(1))
+        assert valid_chunk_outcome(
+            ("err", "ValueError", "boom", None, None, (0, 0, 0, 0))
+        )
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        ("garbage", None),
+        ("ok", {"v": 1.0}, None, None),               # too short
+        ("ok", {"v": 1.0}, None, None, (0, 0, 0)),    # 3-int store delta
+        ("err", "T", "m", None, None, (0, 0, 0, 0), 7),  # too long
+        ("ok", "not-a-dict", None, None, (0, 0, 0, 0)),
+        ("err", None, "m", None, None, (0, 0, 0, 0)),
+        ["ok", {"v": 1.0}, None, None, (0, 0, 0, 0)],  # list, not tuple
+    ])
+    def test_rejects_malformed_outcomes(self, bad):
+        assert not valid_chunk_outcome(bad)
+
+    def test_list_must_be_complete(self):
+        assert valid_chunk_outcomes([ok(1), ok(2)], 2)
+        assert not valid_chunk_outcomes([ok(1)], 2)       # truncated
+        assert not valid_chunk_outcomes((ok(1), ok(2)), 2)  # wrong container
+
+
+class TestHappyPath:
+    def test_all_chunks_succeed(self, telemetry):
+        supervisor, pool, rebuilds = make_supervisor(
+            lambda chunk: [ok(j) for j in chunk]
+        )
+        jobs = list(range(6))
+        results = supervisor.run(jobs, [[0, 1, 2], [3, 4, 5]])
+        assert sorted(results) == jobs
+        assert all(results[i] == ok(i) for i in jobs)
+        assert rebuilds == []
+        assert len(pool.submissions) == 2
+        assert telemetry.counter_value("resilience.chunk_retries") == 0
+
+
+class TestCrashIsolation:
+    def test_bisection_quarantines_only_the_poison_job(self, telemetry):
+        poison = 5
+
+        def behavior(chunk):
+            if poison in chunk:
+                raise BrokenProcessPool("worker died")
+            return [ok(j) for j in chunk]
+
+        supervisor, _pool, rebuilds = make_supervisor(behavior)
+        jobs = list(range(8))
+        results = supervisor.run(jobs, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert sorted(results) == jobs
+        for i in jobs:
+            if i == poison:
+                status, etype, message = results[i][:3]
+                assert (status, etype) == ("err", "WorkerCrashError")
+                assert "quarantined" in message
+            else:
+                assert results[i] == ok(i)
+        assert rebuilds  # every crash tears the pool down
+        assert telemetry.counter_value("resilience.jobs_quarantined") == 1
+        assert telemetry.counter_value("resilience.chunk_retries") > 0
+
+    def test_transient_crash_is_retried_not_quarantined(self, telemetry):
+        state = {"crashes_left": 1}
+
+        def behavior(chunk):
+            if 3 in chunk and state["crashes_left"]:
+                state["crashes_left"] -= 1
+                raise BrokenProcessPool("flaky")
+            return [ok(j) for j in chunk]
+
+        supervisor, _pool, _rebuilds = make_supervisor(behavior)
+        jobs = list(range(4))
+        results = supervisor.run(jobs, [[0, 1], [2, 3]])
+        assert all(results[i] == ok(i) for i in jobs)
+        assert telemetry.counter_value("resilience.jobs_quarantined") == 0
+
+    def test_collateral_chunks_keep_finished_results(self, telemetry):
+        # Chunk [0,1] crashes the pool; [2,3] already completed. Its
+        # harvested future must keep its results without a retry.
+        def behavior(chunk):
+            if 0 in chunk:
+                raise BrokenProcessPool("down")
+            return [ok(j) for j in chunk]
+
+        supervisor, pool, _rebuilds = make_supervisor(behavior)
+        results = supervisor.run(list(range(4)), [[0, 1], [2, 3]])
+        assert results[2] == ok(2) and results[3] == ok(3)
+        # [2,3] was submitted exactly once (pipelined), never retried
+        assert pool.submissions.count([2, 3]) == 1
+
+
+class TestTimeouts:
+    def test_hung_chunk_is_quarantined_as_timeout(self, telemetry):
+        def behavior(chunk):
+            if 1 in chunk:
+                raise FakeHang()
+            return [ok(j) for j in chunk]
+
+        supervisor, _pool, rebuilds = make_supervisor(
+            behavior, job_timeout=0.5
+        )
+        results = supervisor.run([0, 1], [[0], [1]])
+        assert results[0] == ok(0)
+        status, etype, message = results[1][:3]
+        assert (status, etype) == ("err", "WorkerTimeoutError")
+        assert "deadline" in message
+        assert rebuilds  # the hung worker was killed, not waited out
+        assert telemetry.counter_value("resilience.deadline_expirations") > 0
+
+
+class TestCorruptPayloads:
+    def test_truncated_payload_is_quarantined_as_corruption(self, telemetry):
+        def behavior(chunk):
+            if 2 in chunk:
+                return [ok(j) for j in chunk[:-1]]  # truncated
+            return [ok(j) for j in chunk]
+
+        supervisor, _pool, _rebuilds = make_supervisor(behavior)
+        jobs = list(range(4))
+        results = supervisor.run(jobs, [[0, 1], [2, 3]])
+        assert results[0] == ok(0) and results[1] == ok(1)
+        # bisection: [2,3] -> [2],[3]; [3] succeeds, [2] stays corrupt
+        assert results[3] == ok(3)
+        status, etype, _ = results[2][:3]
+        assert (status, etype) == ("err", "ChunkCorruptionError")
+        assert telemetry.counter_value("resilience.corrupt_chunks") > 0
+
+    def test_garbled_outcome_is_detected(self, telemetry):
+        state = {"garble": True}
+
+        def behavior(chunk):
+            if state["garble"]:
+                state["garble"] = False
+                return [("garbage", None)] + [ok(j) for j in chunk[1:]]
+            return [ok(j) for j in chunk]
+
+        supervisor, _pool, _rebuilds = make_supervisor(behavior)
+        results = supervisor.run([0, 1], [[0, 1]])
+        assert results[0] == ok(0) and results[1] == ok(1)
+        assert telemetry.counter_value("resilience.corrupt_chunks") == 1
+        assert telemetry.counter_value("resilience.jobs_quarantined") == 0
+
+    def test_every_slot_gets_an_outcome_even_when_all_jobs_are_poison(
+        self, telemetry
+    ):
+        def behavior(chunk):
+            raise BrokenProcessPool("everything dies")
+
+        supervisor, _pool, _rebuilds = make_supervisor(behavior)
+        jobs = list(range(5))
+        results = supervisor.run(jobs, [[0, 1, 2], [3, 4]])
+        assert sorted(results) == jobs
+        assert all(results[i][0] == "err" for i in jobs)
+        assert telemetry.counter_value("resilience.jobs_quarantined") == 5

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import errno
 import os
 
 import pytest
 
-from repro.ioutil import atomic_write_bytes, atomic_write_text
+from repro.ioutil import (
+    atomic_append_text,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 
 
 def test_writes_and_returns_path(tmp_path):
@@ -75,3 +80,50 @@ def test_old_content_survives_failed_replace(tmp_path, monkeypatch):
     with pytest.raises(OSError):
         atomic_write_text(path, "new", retries=2, backoff_s=0.0)
     assert path.read_text() == "old"
+
+
+def test_append_accumulates(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    atomic_append_text(path, "one\n")
+    atomic_append_text(path, "two\n")
+    assert path.read_text() == "one\ntwo\n"
+
+
+def test_append_on_full_disk_warns_instead_of_raising(
+    tmp_path, monkeypatch, capsys
+):
+    """ENOSPC on a ledger append must not kill a finished run."""
+    def disk_full(src, dst):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", disk_full)
+    path = tmp_path / "ledger.jsonl"
+    returned = atomic_append_text(path, "record\n", retries=2, backoff_s=0.0)
+    assert returned == path
+    err = capsys.readouterr().err
+    assert "no space left on device" in err
+    assert str(path) in err
+
+
+def test_append_still_raises_other_oserrors(tmp_path, monkeypatch):
+    def denied(src, dst):
+        raise OSError(errno.EACCES, "Permission denied")
+
+    monkeypatch.setattr(os, "replace", denied)
+    with pytest.raises(OSError, match="Permission denied"):
+        atomic_append_text(
+            tmp_path / "ledger.jsonl", "record\n", retries=2, backoff_s=0.0
+        )
+
+
+def test_artifact_writes_still_raise_on_full_disk(tmp_path, monkeypatch):
+    """Only *appends* degrade: a table that cannot be written is a
+    failed run, not a warning."""
+    def disk_full(src, dst):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", disk_full)
+    with pytest.raises(OSError):
+        atomic_write_text(
+            tmp_path / "table.txt", "rows", retries=2, backoff_s=0.0
+        )
