@@ -5,7 +5,11 @@ Times the spans that dominate a frame capture (see ``repro profile``):
 ``texture.anisotropic`` and the enclosing ``texture.filter_batch``
 wall-clock, on a seeded synthetic fragment batch whose anisotropy
 distribution resembles a real game frame (log-uniform derivative
-magnitudes over ~4 decades, a few degenerate footprints).
+magnitudes over ~4 decades, a few degenerate footprints). A second
+section renders one real game frame per :data:`RASTER_SCENARIOS`
+through *both* rasterizer backends (``raster.<backend>.<label>``
+spans) and prints the binned-vs-legacy speedup of the sort-middle
+pipeline.
 
 Results go to ``bench_results/hotpath.json``. The file carries two
 sections: ``spans`` (the latest run) and ``baseline`` (a pinned earlier
@@ -53,6 +57,15 @@ TRACKED_SPANS = (
     "texture.filter_batch",
 )
 
+#: Rasterizer scenarios: one real game frame each, rendered through
+#: both G-buffer backends (``raster.<backend>.<label>`` spans). doom3
+#: is the many-triangles indoor scene, stal the high-resolution one —
+#: the two workloads the sort-middle rewrite targets.
+RASTER_SCENARIOS = (
+    ("doom3", "doom3-640x480"),
+    ("stal", "stal-1280x1024"),
+)
+
 SCHEMA = 1
 
 
@@ -96,6 +109,35 @@ def run_once(unit, frags, telemetry) -> "dict[str, float]":
     return out
 
 
+def measure_raster(args) -> "dict[str, dict]":
+    """Best-of wall-clock of one frame's G-buffer per backend."""
+    from repro.renderer.pipeline import render_gbuffer
+    from repro.workloads.games import get_workload
+
+    spans: "dict[str, dict]" = {}
+    # Full published resolution by default: the binned pipeline's
+    # hierarchical-Z win grows with pixel count (binning overhead is
+    # per-triangle, the cull win per-tile), so tiny frames would
+    # understate — even invert — the speedup.
+    scale = 0.25 if args.quick else 1.0
+    for label, name in RASTER_SCENARIOS:
+        workload = get_workload(name)
+        width, height = workload.scaled_size(scale)
+        camera = workload.camera(0)
+        for backend in ("legacy", "binned"):
+            best = float("inf")
+            for rep in range(args.repeats + 1):  # first pass is warmup
+                t0 = time.perf_counter()
+                render_gbuffer(
+                    workload.scene, camera, width, height, raster=backend
+                )
+                ms = (time.perf_counter() - t0) * 1e3
+                if rep:
+                    best = min(best, ms)
+            spans[f"raster.{backend}.{label}"] = {"best_ms": round(best, 3)}
+    return spans
+
+
 def measure(args) -> "dict[str, object]":
     from repro.obs import TELEMETRY
 
@@ -111,12 +153,14 @@ def measure(args) -> "dict[str, object]":
             best[name] = min(best.get(name, float("inf")), ms)
 
     fp = unit.filter_batch(0, *frags)
+    spans = {
+        name: {"best_ms": round(best[name], 3)}
+        for name in TRACKED_SPANS
+        if name in best
+    }
+    spans.update(measure_raster(args))
     return {
-        "spans": {
-            name: {"best_ms": round(best[name], 3)}
-            for name in TRACKED_SPANS
-            if name in best
-        },
+        "spans": spans,
         "workload": {
             "fragments": args.fragments,
             "af_samples": int(fp.total_af_samples),
@@ -193,10 +237,24 @@ def main(argv=None) -> int:
             and entry["best_ms"] > 0
         }
 
+    # Binned-vs-legacy within the same run: the sort-middle pipeline's
+    # headline ratio, independent of any pinned baseline.
+    payload["raster_speedup"] = {
+        label: round(
+            payload["spans"][f"raster.legacy.{label}"]["best_ms"]
+            / payload["spans"][f"raster.binned.{label}"]["best_ms"],
+            3,
+        )
+        for label, _ in RASTER_SCENARIOS
+        if payload["spans"].get(f"raster.binned.{label}", {}).get("best_ms")
+    }
+
     for name, entry in payload["spans"].items():
         ratio = payload.get("speedup_vs_baseline", {}).get(name)
         suffix = f"  ({ratio:.2f}x vs baseline)" if ratio else ""
         print(f"{name:<28} {entry['best_ms']:>10.3f} ms{suffix}")
+    for label, ratio in payload["raster_speedup"].items():
+        print(f"raster {label}: binned is {ratio:.2f}x vs legacy")
 
     out.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(out, json.dumps(payload, indent=2) + "\n")

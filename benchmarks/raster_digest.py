@@ -1,0 +1,77 @@
+"""Cross-backend G-buffer digest smoke: binned must equal legacy.
+
+Renders one frame of each scenario through both rasterizer backends,
+hashes every G-buffer array, and exits non-zero on any digest
+mismatch — the cheapest end-to-end check of the sort-middle pipeline's
+bit-identity contract, sized for a CI smoke job::
+
+    PYTHONPATH=src python benchmarks/raster_digest.py          # full
+    PYTHONPATH=src python benchmarks/raster_digest.py --quick  # CI
+
+The full differential coverage (all seven games, hostile triangle
+soups) lives in ``tests/properties/test_raster_differential.py``; this
+script exists so the bench workflow catches a divergence even when the
+unit-test job is skipped or trimmed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+GB_ARRAYS = ("tex_id", "depth", "u", "v", "dudx", "dvdx", "dudy", "dvdy")
+
+SCENARIOS = (
+    ("wolf-640x480", 0.125),
+    ("doom3-640x480", 0.125),
+    ("stal-1280x1024", 0.0625),
+)
+
+
+def gbuffer_digest(gbuffer) -> str:
+    """sha256 over every array of one G-buffer, order-stable."""
+    h = hashlib.sha256()
+    for name in GB_ARRAYS:
+        h.update(getattr(gbuffer, name).tobytes())
+    return h.hexdigest()[:16]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="first scenario only (CI smoke)")
+    parser.add_argument("--frame", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.renderer.pipeline import render_gbuffer
+    from repro.workloads.games import get_workload
+
+    scenarios = SCENARIOS[:1] if args.quick else SCENARIOS
+    mismatches = 0
+    for name, scale in scenarios:
+        workload = get_workload(name)
+        width, height = workload.scaled_size(scale)
+        camera = workload.camera(args.frame)
+        digests = {}
+        for backend in ("legacy", "binned"):
+            frame = render_gbuffer(
+                workload.scene, camera, width, height, raster=backend
+            )
+            digests[backend] = gbuffer_digest(frame.gbuffer)
+        ok = digests["legacy"] == digests["binned"]
+        mismatches += not ok
+        verdict = "ok" if ok else "MISMATCH"
+        print(
+            f"{name:<18} {width}x{height}  legacy={digests['legacy']}  "
+            f"binned={digests['binned']}  {verdict}"
+        )
+    if mismatches:
+        print(f"FAIL: {mismatches} scenario(s) diverged between backends")
+        return 1
+    print("ok: binned G-buffers are bit-identical to legacy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,12 @@ schema-versioned record per run to the run ledger (default
 ``--no-ledger``) — the history ``trends`` analyzes. See
 ``docs/observability.md``.
 
+Commands that render (``experiment``/``render``/``compare``/``report``/
+``profile``) accept ``--raster {binned,legacy}`` to pick the raster
+backend (the sort-middle tiled pipeline is the default; the legacy
+per-triangle rasterizer is the bit-identical differential reference)
+and ``--tile-size PX`` to tune the binned backend's tile edge.
+
 ``experiment``/``render``/``compare``/``report`` accept ``--trace`` and
 ``--metrics`` to capture the same artifacts for any run, and
 ``--verbose`` for per-stage progress on stderr. Result tables go to
@@ -82,6 +88,7 @@ from .obs.trends import (
 from .resilience import FAULTS, FaultPlan
 from .quality.imageio import write_pgm, write_ppm
 from .quality.ssim import ssim_map
+from .renderer.pipeline import DEFAULT_RASTER, DEFAULT_RASTER_TILE, RASTER_MODES
 from .renderer.session import RenderSession
 from .workloads.games import get_workload, workload_names
 
@@ -94,6 +101,16 @@ def _info(message: str) -> None:
 def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.25,
                         help="render-resolution scale factor (default 0.25)")
+    parser.add_argument("--raster", choices=RASTER_MODES,
+                        default=DEFAULT_RASTER,
+                        help="raster backend: 'binned' = sort-middle tiled "
+                             "pipeline with hierarchical-Z culling (default), "
+                             "'legacy' = per-triangle bounding-box reference")
+    parser.add_argument("--tile-size", type=int, default=DEFAULT_RASTER_TILE,
+                        dest="raster_tile", metavar="PX",
+                        help="binned-raster tile edge in pixels "
+                             f"(default {DEFAULT_RASTER_TILE}; see "
+                             "docs/performance.md for tuning)")
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -414,6 +431,7 @@ def _cmd_experiment(args) -> int:
         checkpoint_path=_checkpoint_path(args),
         jobs=args.jobs, capture_cache=args.capture_cache,
         job_timeout=args.job_timeout,
+        raster=args.raster, raster_tile=args.raster_tile,
     )
     _resume_begin(args, ctx)
     try:
@@ -475,7 +493,9 @@ def _plot_result(result) -> "str | None":
 
 
 def _cmd_render(args) -> int:
-    session = RenderSession(scale=args.scale)
+    session = RenderSession(
+        scale=args.scale, raster=args.raster, raster_tile=args.raster_tile
+    )
     workload = _resolve_workload(args.workload)
     scenario = get_scenario(args.scenario)
     capture = session.capture_frame(workload, args.frame)
@@ -519,6 +539,7 @@ def _cmd_report(args) -> int:
         checkpoint_path=_checkpoint_path(args),
         jobs=args.jobs, capture_cache=args.capture_cache,
         job_timeout=args.job_timeout,
+        raster=args.raster, raster_tile=args.raster_tile,
     )
     _resume_begin(args, ctx)
     ids = tuple(args.experiments) if args.experiments else None
@@ -540,7 +561,9 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    session = RenderSession(scale=args.scale)
+    session = RenderSession(
+        scale=args.scale, raster=args.raster, raster_tile=args.raster_tile
+    )
     workload = _resolve_workload(args.workload)
     capture = session.capture_frame(workload, args.frame)
     baseline = session.evaluate(capture, SCENARIOS["baseline"], 1.0)
@@ -621,7 +644,9 @@ def _cmd_profile(args) -> int:
 
     workload = _resolve_workload(args.workload)
     scenario = get_scenario(args.scenario)
-    session = RenderSession(scale=args.scale)
+    session = RenderSession(
+        scale=args.scale, raster=args.raster, raster_tile=args.raster_tile
+    )
     store = CaptureStore(args.capture_cache) if args.capture_cache else None
     want_maps = getattr(args, "quality_maps", None)
     map_files = 0
@@ -635,6 +660,7 @@ def _cmd_profile(args) -> int:
                     workload.name, frame,
                     base_config=session.config, scale=args.scale,
                     variant=DEFAULT_VARIANT,
+                    raster=args.raster, raster_tile=args.raster_tile,
                 )
                 capture = store.get(spec)
             if capture is None:

@@ -12,7 +12,8 @@ Layout: one ``.npz`` file per capture directly under the store root,
 named ``{workload}-f{frame}-{digest}.npz``. The digest is the first 16
 hex chars of the SHA-256 of the capture *spec* — a JSON object listing
 the workload request name, frame index, render scale, tile size,
-effective anisotropy cap, compression flag, and two version tags
+raster backend and its tile size, effective anisotropy cap,
+compression flag, and two version tags
 (:data:`repro.renderer.serialization.FORMAT_VERSION` for the payload
 layout, :data:`STORE_VERSION` for capture-affecting code). Bump
 ``STORE_VERSION`` whenever rendering output changes; old entries then
@@ -44,7 +45,8 @@ from ..renderer.serialization import (
 from ..renderer.session import FrameCapture
 
 #: Bump when renderer changes make previously stored captures stale.
-STORE_VERSION = 1
+#: v2: watertight top-left fill rule + sort-middle binned rasterizer.
+STORE_VERSION = 2
 
 #: Sibling directory (under the store root) corrupt entries are moved
 #: to instead of being overwritten in place; ``__len__`` and lookups
@@ -62,6 +64,8 @@ def capture_spec(
     tile_size: int,
     max_anisotropy: int,
     compressed: bool,
+    raster: str = "binned",
+    raster_tile: int = 8,
 ) -> "dict[str, object]":
     """Everything that determines a capture's contents, as plain JSON.
 
@@ -69,6 +73,11 @@ def capture_spec(
     ``"VR@2:doom3-1280x1024"``, …), not a resolved object — the name
     fully determines the generated scene, so hashing it keeps the key
     computable without building the workload.
+
+    ``raster``/``raster_tile`` key the capture too: both backends
+    produce bit-identical G-buffers on surviving tiles, but the
+    hierarchical-Z pass changes ``fragments_generated`` (and hence the
+    capture's workload counts), so the backends must not share entries.
     """
     return {
         "store_version": STORE_VERSION,
@@ -79,6 +88,8 @@ def capture_spec(
         "tile_size": tile_size,
         "max_anisotropy": max_anisotropy,
         "compressed": compressed,
+        "raster": raster,
+        "raster_tile": raster_tile,
     }
 
 

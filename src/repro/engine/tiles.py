@@ -1,0 +1,210 @@
+"""Tile-level dispatch: parallelizing ONE frame's capture across workers.
+
+The wave planner parallelizes at frame granularity — one capture job
+per distinct (workload, frame, variant). When an execute() call needs
+fewer distinct frames than there are pool workers (the common case for
+a resumed sweep that misses one frame, or a small ``--frames 1`` run),
+frame-level dispatch leaves most of the fleet idle during wave 1.
+
+This module splits a single capture *within* the frame instead, along
+the renderer's own scheduling-tile order:
+
+* the **parent** renders the G-buffer (cheap since the sort-middle
+  raster rewrite), computes the tile-ordered pixel schedule, and cuts
+  it into per-worker runs of whole scheduling tiles;
+* each **worker** renders the same deterministic G-buffer once (cached
+  per process) and texture-filters its pixel run — the expensive phase
+  of a capture;
+* the parent concatenates the parts in tile order and publishes the
+  assembled capture to the store, turning the original capture jobs
+  into pure store hits.
+
+Byte-identity with a serial capture is structural, not incidental:
+:meth:`~repro.renderer.session.RenderSession.filter_pixels` is
+per-pixel/per-quad local and quads never span scheduling tiles, so
+filtering any union of whole tiles yields exactly the rows the
+full-frame pass produces, and
+:meth:`~repro.renderer.session.RenderSession.assemble_capture`
+recomputes the one global structure (the CSR ``row_ptr``) from the
+concatenated parts. ``tests/engine/test_tile_dispatch.py`` locks this
+in by comparing against a serial capture array-for-array.
+
+Failure policy: tile dispatch is a best-effort accelerator. Any error
+— a worker exception, a dead pool, a deadline — makes the caller fall
+back to the ordinary supervised frame-level wave, which re-renders the
+frame with full retry/quarantine semantics. Worker-side telemetry for
+tile parts is deliberately *not* merged: the parent's own render
+already counted the frame's ``raster.*`` metrics once, exactly as a
+serial capture would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry.tiling import tile_pixel_order
+from ..renderer.session import FrameCapture
+from .jobs import ConfigKey
+
+__all__ = [
+    "TilePart",
+    "capture_frame_tiled",
+    "run_tile_part",
+    "split_tile_ranges",
+]
+
+
+@dataclass(frozen=True)
+class TilePart:
+    """One worker's slice of a frame capture: pixels ``[lo, hi)``.
+
+    ``lo``/``hi`` index the frame's tile-ordered pixel schedule (the
+    output of :func:`~repro.geometry.tiling.tile_pixel_order`), which
+    every process derives identically from the deterministic render —
+    so a pair of integers is enough to name the slice across the
+    process boundary.
+    """
+
+    workload: str
+    frame: int
+    config_key: ConfigKey
+    lo: int
+    hi: int
+
+
+def split_tile_ranges(
+    tile_ids: np.ndarray, parts: int
+) -> "list[tuple[int, int]]":
+    """Cut ``[0, len(tile_ids))`` into at most ``parts`` ranges.
+
+    Cuts land only on scheduling-tile boundaries (``tile_ids`` is
+    ascending in schedule order), so every range is a run of whole
+    tiles — the unit :meth:`RenderSession.filter_pixels` is local to.
+    Ranges are near-equal in pixel count, ascending, and exactly cover
+    the schedule.
+    """
+    n = int(tile_ids.shape[0])
+    if n == 0:
+        return []
+    if parts <= 1:
+        return [(0, n)]
+    bounds = np.flatnonzero(np.diff(tile_ids)) + 1
+    bounds = np.concatenate([[0], bounds, [n]])
+    ideal = (np.arange(1, parts, dtype=np.int64) * n) // parts
+    snapped = bounds[np.minimum(np.searchsorted(bounds, ideal), bounds.size - 1)]
+    cuts = np.unique(np.concatenate([[0], snapped, [n]]))
+    return [
+        (int(cuts[i]), int(cuts[i + 1]))
+        for i in range(cuts.size - 1)
+        if cuts[i + 1] > cuts[i]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process cache of the last rendered frame (single entry: a
+#: G-buffer is large, and the parts of one dispatch arrive
+#: back-to-back, so deeper history would only hold dead arrays alive).
+_RENDER_CACHE: "dict[tuple, tuple]" = {}
+
+
+def _rendered_schedule(state, part: TilePart) -> tuple:
+    """(workload, rendered, rows, cols, tile_ids) for ``part``'s frame."""
+    from .worker import resolve_workload, session_cache_key
+
+    session = state.session(part.config_key)
+    key = (part.workload, part.frame, session_cache_key(part.config_key))
+    hit = _RENDER_CACHE.get(key)
+    if hit is not None:
+        return hit
+    workload = resolve_workload(part.workload)
+    rendered = session.render_frame(workload, part.frame)
+    rows, cols, tile_ids = tile_pixel_order(
+        rendered.gbuffer.coverage_mask, session.config.tile_size
+    )
+    _RENDER_CACHE.clear()
+    value = (workload, rendered, rows, cols, tile_ids)
+    _RENDER_CACHE[key] = value
+    return value
+
+
+def run_tile_part(part: TilePart) -> tuple:
+    """Filter one tile range in a pool worker.
+
+    Returns ``("ok", part_dict)`` or ``("err", error_type, message)``
+    — like :func:`~repro.engine.worker.run_job`, exceptions never
+    cross the process boundary as exceptions.
+    """
+    from .worker import _STATE
+
+    assert _STATE is not None, "run_tile_part before init_worker"
+    try:
+        session = _STATE.session(part.config_key)
+        workload, rendered, rows, cols, tile_ids = _rendered_schedule(
+            _STATE, part
+        )
+        lo, hi = part.lo, part.hi
+        return ("ok", session.filter_pixels(
+            workload, rendered, rows[lo:hi], cols[lo:hi], tile_ids[lo:hi]
+        ))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 — shipped as data
+        return ("err", type(exc).__name__, str(exc))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def capture_frame_tiled(
+    session,
+    executor,
+    workload_name: str,
+    frame: int,
+    config_key: ConfigKey,
+    parts: int,
+    *,
+    timeout: "float | None" = None,
+) -> FrameCapture:
+    """Capture one frame with its texture filtering fanned out in tiles.
+
+    ``session`` must be the parent's session for ``config_key`` (the
+    same one a serial capture would use); ``executor`` is the shared
+    worker pool. Raises on any worker error or deadline — the caller
+    falls back to frame-level dispatch.
+    """
+    from .worker import resolve_workload
+
+    workload = resolve_workload(workload_name)
+    rendered = session.render_frame(workload, frame)
+    rows, cols, tile_ids = tile_pixel_order(
+        rendered.gbuffer.coverage_mask, session.config.tile_size
+    )
+    if rows.size == 0:
+        raise PipelineError(
+            f"frame {frame} of {workload.name} produced no fragments"
+        )
+    ranges = split_tile_ranges(tile_ids, parts)
+    futures = [
+        executor.submit(
+            run_tile_part,
+            TilePart(workload_name, frame, config_key, lo, hi),
+        )
+        for lo, hi in ranges
+    ]
+    filtered = []
+    for future in futures:
+        outcome = future.result(timeout=timeout)
+        if outcome[0] != "ok":
+            raise PipelineError(
+                f"tile part failed: {outcome[1]}: {outcome[2]}"
+            )
+        filtered.append(outcome[1])
+    return session.assemble_capture(workload, frame, rendered, filtered)

@@ -58,6 +58,7 @@ from ..engine.worker import (
 )
 from ..errors import ExperimentError, JobError
 from ..obs import TELEMETRY
+from ..renderer.pipeline import DEFAULT_RASTER, DEFAULT_RASTER_TILE
 from ..renderer.session import FrameCapture, FrameResult, RenderSession
 from ..resilience import FailureRecord, load_checkpoint, save_checkpoint
 from ..workloads.scene import Workload
@@ -207,6 +208,8 @@ class ExperimentContext:
         jobs: int = 1,
         capture_cache: "str | pathlib.Path | None" = None,
         job_timeout: "float | None" = None,
+        raster: str = DEFAULT_RASTER,
+        raster_tile: int = DEFAULT_RASTER_TILE,
     ) -> None:
         if frames < 1:
             raise ExperimentError("need at least one frame per workload")
@@ -217,10 +220,17 @@ class ExperimentContext:
         self.workload_list = workloads
         self.base_config = config
         self.jobs = jobs
+        #: Raster backend + tile size, threaded through every session
+        #: this context builds (parent and pool workers alike) and into
+        #: the capture-store key.
+        self.raster = raster
+        self.raster_tile = raster_tile
         #: Per-job wall-clock budget for process-backend chunk
         #: deadlines (None = supervision default, 0 disables).
         self.job_timeout = job_timeout
-        self.session = RenderSession(config, scale=scale)
+        self.session = RenderSession(
+            config, scale=scale, raster=raster, raster_tile=raster_tile
+        )
         self._captures: "dict[tuple[str, int, CaptureVariant], FrameCapture]" = {}
         self._results: "dict[tuple, FrameResult]" = {}
         self._alt_sessions: "dict[tuple, RenderSession]" = {}
@@ -328,6 +338,7 @@ class ExperimentContext:
         return capture_spec_for(
             workload_name, frame,
             base_config=self.base_config, scale=self.scale, variant=variant,
+            raster=self.raster, raster_tile=self.raster_tile,
         )
 
     def has_capture(
@@ -387,11 +398,19 @@ class ExperimentContext:
 
     def checkpoint_fingerprint(self) -> "dict[str, object]":
         """Identity of this context for checkpoint compatibility."""
-        return {
+        fp = {
             "scale": self.scale,
             "frames": self.frames,
             "config": repr(self.base_config),
         }
+        # The default backend keeps the fingerprint stable; only
+        # non-default raster settings (whose workload counts differ)
+        # are incompatible with default-raster checkpoints.
+        if (self.raster, self.raster_tile) != (
+            DEFAULT_RASTER, DEFAULT_RASTER_TILE
+        ):
+            fp["raster"] = f"{self.raster}@{self.raster_tile}"
+        return fp
 
     def load_checkpoint(self) -> int:
         """Seed the metrics cache from ``checkpoint_path``, if present.
@@ -521,7 +540,8 @@ class ExperimentContext:
             return self.session
         if key not in self._alt_sessions:
             self._alt_sessions[key] = build_session(
-                self.base_config, self.scale, config
+                self.base_config, self.scale, config,
+                raster=self.raster, raster_tile=self.raster_tile,
             )
         return self._alt_sessions[key]
 

@@ -116,6 +116,28 @@ def quality_rollup(telemetry) -> "dict[str, object]":
     return out
 
 
+def raster_rollup(telemetry) -> "dict[str, float]":
+    """Raster-pipeline counters of one run, zero-suppressed.
+
+    Collects every ``raster.*`` counter — binning pairs, tiles culled
+    by hierarchical-Z, fully occluded tiles retired, quads shaded,
+    fragments generated/passed — so a ledger reader can see the
+    sort-middle pipeline's work profile (and how much of it the coarse
+    pass culled) next to the timing numbers. All of these also land in
+    the flat ``metrics`` map (as ``counter.raster.*``), where ``repro
+    trends`` treats ``tiles_culled_*`` as high-good (see
+    :func:`repro.obs.trends.metric_direction`).
+    """
+    if telemetry is None:
+        return {}
+    totals = telemetry.metrics.counter_totals()
+    return {
+        name: float(value)
+        for name, value in sorted(totals.items())
+        if value and name.startswith("raster.")
+    }
+
+
 def resilience_rollup(telemetry) -> "dict[str, float]":
     """Fault-handling counters of one run, zero-suppressed.
 
@@ -216,6 +238,7 @@ def build_record(
         "quality": (
             quality_rollup(telemetry) if telemetry is not None else {}
         ),
+        "raster": raster_rollup(telemetry),
         "resilience": resilience_rollup(telemetry),
         "metrics": trend_metrics(
             telemetry, store=store,

@@ -97,6 +97,11 @@ def metric_direction(name: str) -> str:
     """Which way does this metric get *worse*?"""
     if is_time_metric(name) or "cycles" in name:
         return DIRECTION_HIGH_BAD
+    if "tiles_culled" in name:
+        # Coarse-pass cull counters measure work *avoided*: a drop
+        # means hierarchical-Z stopped rejecting depth-buried tiles,
+        # which is the regression worth flagging.
+        return DIRECTION_LOW_BAD
     if "mssim" in name or "fps" in name or name.endswith(".hits"):
         return DIRECTION_LOW_BAD
     return DIRECTION_BOTH

@@ -7,16 +7,21 @@ derivatives, and the texture the fragment shader will sample. The
 texture units then consume the G-buffer in tile order.
 """
 
+from .binned import BinnedRasterizer
 from .framebuffer import Framebuffer
 from .gbuffer import GBuffer
-from .rasterizer import Rasterizer, RasterStats
-from .quads import quad_ids, quad_divergence_fraction
+from .rasterizer import Rasterizer, RasterStats, edge_inside_mask, edge_tie_accept
+from .quads import count_shaded_quads, quad_ids, quad_divergence_fraction
 
 __all__ = [
+    "BinnedRasterizer",
     "Framebuffer",
     "GBuffer",
     "RasterStats",
     "Rasterizer",
+    "count_shaded_quads",
+    "edge_inside_mask",
+    "edge_tie_accept",
     "quad_divergence_fraction",
     "quad_ids",
 ]

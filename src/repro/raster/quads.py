@@ -24,6 +24,28 @@ def quad_ids(rows: np.ndarray, cols: np.ndarray, width: int) -> np.ndarray:
     return (rows // 2) * quads_per_row + (cols // 2)
 
 
+def count_shaded_quads(mask: np.ndarray) -> int:
+    """Number of 2x2 screen quads containing at least one covered pixel.
+
+    This is the quad-granular shading workload a SIMD GPU would launch
+    for the frame (``raster.quads_shaded``); odd frame dimensions are
+    padded as real hardware pads partial quads.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise PipelineError(f"coverage mask must be 2-D, got shape {mask.shape}")
+    h, w = mask.shape
+    if h % 2 or w % 2:
+        padded = np.zeros((h + h % 2, w + w % 2), dtype=bool)
+        padded[:h, :w] = mask
+        mask = padded
+    # Strided ORs beat a non-contiguous any() reduction on the hot path.
+    quad_any = (
+        mask[0::2, 0::2] | mask[0::2, 1::2] | mask[1::2, 0::2] | mask[1::2, 1::2]
+    )
+    return int(quad_any.sum())
+
+
 def quad_divergence_fraction(
     rows: np.ndarray, cols: np.ndarray, width: int, decision: np.ndarray
 ) -> float:

@@ -322,6 +322,59 @@ def oracle_two_stage(cfg: VerifyConfig) -> OracleResult:
     )
 
 
+def oracle_raster_backends(cfg: VerifyConfig) -> OracleResult:
+    """Sort-middle binned rasterizer vs the legacy reference, per byte.
+
+    Renders real game frames through both backends and compares every
+    G-buffer array with ``tobytes()`` — the binned pipeline's contract
+    is *bit*-identity, not closeness, because the fine pass evaluates
+    the exact legacy expressions on candidate subsets. Only G-buffer
+    arrays are compared: the work counters (``fragments_generated``
+    etc.) legitimately differ, since hierarchical-Z excludes
+    depth-buried work the legacy path still evaluates.
+    """
+    from ..renderer.pipeline import render_gbuffer
+    from ..workloads.games import get_workload
+
+    names = (
+        ("wolf-640x480",) if cfg.quick
+        else ("wolf-640x480", "doom3-640x480", "stal-1280x1024")
+    )
+    scale = 0.125
+    frame = cfg.seed % 2
+    arrays = ("tex_id", "depth", "u", "v", "dudx", "dvdx", "dudy", "dvdy")
+    mismatched: "list[str]" = []
+    pixels = 0
+    for name in names:
+        workload = get_workload(name)
+        width, height = workload.scaled_size(scale)
+        camera = workload.camera(frame)
+        legacy = render_gbuffer(
+            workload.scene, camera, width, height, raster="legacy"
+        )
+        # Odd tile sizes change the bin geometry, never the output.
+        for raster_tile in (8, 16) if name == names[0] else (8,):
+            binned = render_gbuffer(
+                workload.scene, camera, width, height,
+                raster="binned", raster_tile=raster_tile,
+            )
+            pixels += width * height
+            mismatched.extend(
+                f"{name}@{raster_tile}:{field_name}"
+                for field_name in arrays
+                if getattr(legacy.gbuffer, field_name).tobytes()
+                != getattr(binned.gbuffer, field_name).tobytes()
+            )
+    return OracleResult(
+        name="diff_raster_backends",
+        layer=LAYER_DIFFERENTIAL,
+        passed=not mismatched,
+        max_error=0.0,
+        fragments=pixels,
+        details={"workloads": list(names), "mismatched": mismatched},
+    )
+
+
 #: All differential oracles, in dependency-free execution order.
 DIFFERENTIAL_ORACLES = (
     oracle_bilinear,
@@ -331,4 +384,5 @@ DIFFERENTIAL_ORACLES = (
     oracle_af_ssim_n,
     oracle_txds,
     oracle_two_stage,
+    oracle_raster_backends,
 )

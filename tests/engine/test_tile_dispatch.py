@@ -1,0 +1,163 @@
+"""Tests for tile-level dispatch: one frame's capture split across workers.
+
+``capture_frame_tiled`` must be *byte*-identical to a serial
+``capture_frame`` — the parts are runs of whole scheduling tiles, the
+filtering is per-tile local, and ``assemble_capture`` recomputes the
+only global structure (``row_ptr``). These tests run the worker
+entrypoint in-process through an inline executor so the identity claim
+is checked deterministically on every CI run without process-spawn
+cost; the scheduler's live pool path reuses the same functions.
+"""
+
+import dataclasses
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.engine import worker as worker_mod
+from repro.engine.jobs import DEFAULT_CONFIG
+from repro.engine.tiles import (
+    TilePart,
+    capture_frame_tiled,
+    run_tile_part,
+    split_tile_ranges,
+)
+from repro.engine.worker import WorkerSpec, _WorkerState, build_session
+from repro.errors import PipelineError
+
+
+class TestSplitTileRanges:
+    def _check_cover(self, tile_ids, ranges):
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == tile_ids.size
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        for lo, hi in ranges:
+            assert hi > lo
+            # Cuts land on tile boundaries only: a range never starts
+            # mid-tile.
+            if lo > 0:
+                assert tile_ids[lo - 1] != tile_ids[lo]
+
+    def test_empty_schedule(self):
+        assert split_tile_ranges(np.empty(0, dtype=np.int64), 4) == []
+
+    def test_single_part_is_whole_schedule(self):
+        tile_ids = np.repeat([0, 1, 2], [4, 3, 5])
+        assert split_tile_ranges(tile_ids, 1) == [(0, 12)]
+
+    def test_ranges_cover_and_align(self):
+        tile_ids = np.repeat([0, 1, 2, 5, 9], [4, 3, 5, 2, 7])
+        for parts in (2, 3, 4, 5):
+            ranges = split_tile_ranges(tile_ids, parts)
+            assert len(ranges) <= parts
+            self._check_cover(tile_ids, ranges)
+
+    def test_more_parts_than_tiles(self):
+        tile_ids = np.repeat([3, 8], [6, 2])
+        ranges = split_tile_ranges(tile_ids, 16)
+        assert ranges == [(0, 6), (6, 8)]
+
+    def test_one_giant_tile_cannot_split(self):
+        tile_ids = np.zeros(100, dtype=np.int64)
+        assert split_tile_ranges(tile_ids, 8) == [(0, 100)]
+
+    def test_near_equal_pixel_counts(self):
+        # Many equal tiles: the cuts should land close to the ideal
+        # equal split, off by at most one tile's pixels.
+        tile_ids = np.repeat(np.arange(64), 5)
+        ranges = split_tile_ranges(tile_ids, 4)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == tile_ids.size
+        assert max(sizes) - min(sizes) <= 5
+
+
+class _InlineExecutor:
+    """Runs submissions synchronously in this process."""
+
+    def submit(self, fn, *args):
+        future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # pragma: no cover — test harness
+            future.set_exception(exc)
+        return future
+
+
+class _FailingExecutor:
+    """Pretends the worker died with a data-shipped error."""
+
+    def submit(self, fn, *args):
+        future = Future()
+        future.set_result(("err", "RuntimeError", "synthetic tile failure"))
+        return future
+
+
+@pytest.fixture()
+def worker_state(tmp_path, monkeypatch):
+    """An initialized in-process worker (auto-restored afterwards)."""
+    spec = WorkerSpec(
+        base_config=GpuConfig(), scale=0.0625, store_root=str(tmp_path / "store")
+    )
+    state = _WorkerState(spec)
+    monkeypatch.setattr(worker_mod, "_STATE", state)
+    return state
+
+
+class TestCaptureFrameTiled:
+    WORKLOAD = "wolf-640x480"
+
+    def test_byte_identical_to_serial_capture(self, worker_state):
+        session = build_session(GpuConfig(), 0.0625, DEFAULT_CONFIG)
+        from repro.engine.worker import resolve_workload
+
+        serial = session.capture_frame(resolve_workload(self.WORKLOAD), 0)
+        tiled = capture_frame_tiled(
+            session, _InlineExecutor(), self.WORKLOAD, 0, DEFAULT_CONFIG, 3
+        )
+        for field in dataclasses.fields(type(serial)):
+            a = getattr(serial, field.name)
+            b = getattr(tiled, field.name)
+            if isinstance(a, np.ndarray):
+                assert a.tobytes() == b.tobytes(), field.name
+                assert a.dtype == b.dtype, field.name
+            else:
+                assert a == b, field.name
+
+    def test_worker_error_raises_for_fallback(self, worker_state):
+        session = build_session(GpuConfig(), 0.0625, DEFAULT_CONFIG)
+        with pytest.raises(PipelineError, match="synthetic tile failure"):
+            capture_frame_tiled(
+                session, _FailingExecutor(), self.WORKLOAD, 0, DEFAULT_CONFIG, 2
+            )
+
+    def test_render_cache_holds_single_entry(self, worker_state):
+        from repro.engine import tiles
+
+        for frame in (0, 1):
+            outcome = run_tile_part(
+                TilePart(self.WORKLOAD, frame, DEFAULT_CONFIG, 0, 4)
+            )
+            assert outcome[0] == "ok"
+        assert len(tiles._RENDER_CACHE) == 1
+
+    def test_parts_union_is_the_full_filter_set(self, worker_state):
+        # Two half-frame parts produce exactly the rows of the whole
+        # schedule, in order — the locality property byte-identity
+        # rests on.
+        from repro.engine import tiles
+
+        workload, rendered, rows, cols, tile_ids = tiles._rendered_schedule(
+            worker_state, TilePart(self.WORKLOAD, 0, DEFAULT_CONFIG, 0, 0)
+        )
+        (lo1, hi1), (lo2, hi2) = split_tile_ranges(tile_ids, 2)
+        session = worker_state.session(DEFAULT_CONFIG)
+        whole = session.filter_pixels(workload, rendered, rows, cols, tile_ids)
+        part1 = run_tile_part(TilePart(self.WORKLOAD, 0, DEFAULT_CONFIG, lo1, hi1))
+        part2 = run_tile_part(TilePart(self.WORKLOAD, 0, DEFAULT_CONFIG, lo2, hi2))
+        assert part1[0] == "ok" and part2[0] == "ok"
+        for key, value in whole.items():
+            joined = np.concatenate([part1[1][key], part2[1][key]])
+            assert value.tobytes() == joined.tobytes(), key

@@ -32,8 +32,10 @@ def test_verify_only_filter_writes_report(tmp_path, capsys):
 
 
 def test_verify_layer_filter_runs_whole_layer():
+    from repro.verify.differential import DIFFERENTIAL_ORACLES
+
     report = run_verify(only="differential")
-    assert len(report.results) == 7
+    assert len(report.results) == len(DIFFERENTIAL_ORACLES)
     assert report.passed
     assert {r.layer for r in report.results} == {"differential"}
 
