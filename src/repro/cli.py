@@ -157,7 +157,7 @@ _LEDGER_KINDS = {
 _NON_SHAPING_ARGS = frozenset({
     "command", "out", "plot", "trace", "metrics", "emit_metrics",
     "verbose", "ledger", "no_ledger", "capture_cache", "checkpoint",
-    "resume", "report", "quality_maps",
+    "resume", "report", "quality_maps", "fuzz_save",
 })
 
 #: Facts a handler stashes for the ledger record written in ``main``'s
@@ -392,7 +392,14 @@ def _resolve_workload(name: str):
 
     ``hl2`` (any case) resolves to the smallest-resolution HL2 config,
     so quick profiling runs don't need the full ``HL2-640x480`` name.
+    Engine request names (``fuzz@<seed>[:profile]``, ``VR@<steps>:...``,
+    ``R.Bench-*``) resolve through the engine's resolver, so generated
+    scenarios work everywhere a game name does.
     """
+    if "@" in name or name.startswith("R.Bench"):
+        from .engine.worker import resolve_workload
+
+        return resolve_workload(name)
     names = workload_names()
     lowered = name.lower()
     for candidate in names:
@@ -598,6 +605,10 @@ def _cmd_verify(args) -> int:
         only=args.only,
         goldens_root=goldens_root,
         update_goldens=args.update_goldens,
+        fuzz=args.fuzz,
+        fuzz_save=(
+            pathlib.Path(args.fuzz_save) if args.fuzz_save else None
+        ),
     )
     print(report.format_summary())
     write_failed = False
@@ -620,6 +631,21 @@ def _cmd_verify(args) -> int:
         for name, diff in diffs:
             if diff:
                 _info(f"--- {name} diff ---\n{diff}")
+        # Fuzz failures carry shrunk minimal repro specs — print them
+        # so a CI log alone is enough to reproduce locally.
+        for entry in failure.details.get("failures", ()):
+            if isinstance(entry, dict) and "minimal_spec" in entry:
+                import json as _json
+
+                _info(
+                    f"fuzz repro {entry.get('request')} "
+                    f"(failed: {', '.join(entry.get('failed', ()))})\n"
+                    "  minimal spec: "
+                    + _json.dumps(entry["minimal_spec"], sort_keys=True)
+                )
+        if failure.details.get("saved"):
+            _info("fuzz regressions saved: "
+                  + ", ".join(map(str, failure.details["saved"])))
     if args.update_goldens:
         changed = []
         for r in report.layer_results("golden"):
@@ -789,6 +815,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--update-goldens", action="store_true",
                        dest="update_goldens",
                        help="regenerate changed goldens instead of checking")
+    p_ver.add_argument("--fuzz", type=int, default=0, metavar="N",
+                       help="run N generated scenarios through the "
+                            "oracle stack (fuzz lane; default 0 = off)")
+    p_ver.add_argument("--fuzz-save", metavar="DIR", dest="fuzz_save",
+                       nargs="?", const="tests/goldens/fuzz_regressions",
+                       default=None,
+                       help="save shrunk failing specs as regression-"
+                            "corpus files (default DIR: "
+                            "tests/goldens/fuzz_regressions)")
     p_ver.add_argument("--list", action="store_true", dest="list_oracles",
                        help="list registered oracles and exit")
     _add_obs_args(p_ver)
@@ -824,11 +859,13 @@ def build_parser() -> argparse.ArgumentParser:
         "trends",
         help="analyze the run ledger: flag metrics leaving their trend band",
     )
-    p_tr.add_argument("--ledger", metavar="DIR", default=None,
-                      help="ledger directory (default .repro/ledger)")
+    p_tr.add_argument("--ledger", metavar="DIR", nargs="+", default=None,
+                      help="ledger directory (default .repro/ledger); "
+                           "several DIRs merge by creation time (CI "
+                           "shards, multiple machines)")
     p_tr.add_argument("--kind", default=None,
                       help="only analyze records of this kind (experiment, "
-                           "report, profile, verify, hotpath)")
+                           "report, profile, verify, hotpath, fleet)")
     p_tr.add_argument("--metric", default=None, metavar="SUBSTR",
                       help="only metrics whose name contains SUBSTR")
     p_tr.add_argument("--window", type=int, default=DEFAULT_WINDOW,

@@ -31,6 +31,7 @@ from ..obs import TELEMETRY
 from ..renderer.pipeline import DEFAULT_RASTER, DEFAULT_RASTER_TILE
 from ..renderer.session import FrameCapture, FrameResult, RenderSession
 from ..resilience.faults import FAULTS, FaultPlan
+from ..workloads.fuzz import FUZZ_PREFIX, fuzz_workload, parse_fuzz_request
 from ..workloads.games import get_workload
 from ..workloads.rbench import rbench_workload
 from ..workloads.scene import Workload
@@ -49,8 +50,11 @@ def resolve_workload(name: str) -> Workload:
     Request names are the engine's workload identity (they key both
     job hashes and capture-store entries), so everything an experiment
     can render must be expressible as a name: Table II games,
-    ``R.Bench-{2K,4K}``, and ``VR@{steps}:{base}`` stereo variants.
+    ``R.Bench-{2K,4K}``, ``VR@{steps}:{base}`` stereo variants, and
+    ``fuzz@{seed}[:profile]`` generated scenarios.
     """
+    if name.startswith(FUZZ_PREFIX):
+        return fuzz_workload(*parse_fuzz_request(name))
     if name.startswith(VR_PREFIX):
         head, _, base = name[len(VR_PREFIX):].partition(":")
         if not base:

@@ -30,6 +30,7 @@ from .ledger import (
     default_ledger_dir,
     ledger_path,
     read_ledger,
+    read_ledgers,
     validate_record,
 )
 from .machine import calibration_token, git_revision, machine_info
@@ -77,6 +78,7 @@ __all__ = [
     "machine_info",
     "read_chrome_trace",
     "read_ledger",
+    "read_ledgers",
     "read_metrics_jsonl",
     "trace_events",
     "validate_metric_name",

@@ -45,7 +45,7 @@ LEDGER_FILE = "ledger.jsonl"
 
 #: Record kinds the toolkit emits (free-form kinds are allowed, these
 #: are the built-in emitters).
-KINDS = ("experiment", "report", "profile", "verify", "hotpath")
+KINDS = ("experiment", "report", "profile", "verify", "hotpath", "fleet")
 
 #: Environment override for the default ledger directory (used by the
 #: test suite to keep checkouts clean).
@@ -315,3 +315,23 @@ def read_ledger(
             raise LedgerError(f"{path}:{lineno}: unparseable record: {exc}") from exc
         records.append(validate_record(record))
     return records
+
+
+def read_ledgers(
+    ledger_dirs: "list[str | pathlib.Path] | tuple",
+) -> "list[dict]":
+    """Merge the records of several ledger directories by creation time.
+
+    CI shards and multiple machines each append to their own ledger;
+    trend analysis wants one stream where 'the latest run of a group'
+    is the globally newest record. ``created`` is an ISO-8601 UTC
+    timestamp, so lexicographic order is chronological; the sort is
+    stable, so same-second records keep their per-ledger append order.
+    Missing directories read as empty histories, like
+    :func:`read_ledger`.
+    """
+    merged: "list[dict]" = []
+    for ledger_dir in ledger_dirs:
+        merged.extend(read_ledger(ledger_dir))
+    merged.sort(key=lambda record: str(record.get("created") or ""))
+    return merged

@@ -38,7 +38,7 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass, field
 
-from .ledger import read_ledger
+from .ledger import read_ledger, read_ledgers
 
 #: MAD multiplier (1.4826 * MAD estimates sigma for normal noise, so
 #: k=4 is roughly a four-sigma gate).
@@ -121,7 +121,9 @@ def _mad(values: "list[float]", center: float) -> float:
 
 
 def _calibration(record: "dict") -> float:
-    machine = record.get("machine") or {}
+    machine = record.get("machine")
+    if not isinstance(machine, dict):
+        return 0.0
     try:
         return float(machine.get("calibration_ms") or 0.0)
     except (TypeError, ValueError):
@@ -167,6 +169,7 @@ class GroupTrend:
     command: str
     runs: int
     metrics: "list[MetricTrend]" = field(default_factory=list)
+    notes: "list[str]" = field(default_factory=list)
 
     @property
     def regressions(self) -> "list[MetricTrend]":
@@ -207,6 +210,7 @@ class TrendReport:
                     else "  (no shared metrics with history)"
                 )
             lines.extend(f"  {metric.format()}" for metric in shown)
+            lines.extend(f"  note: {note}" for note in group.notes)
             lines.append("")
         if self.skipped_single:
             lines.append(
@@ -260,6 +264,7 @@ def analyze_records(
         )
         latest_cal = _calibration(latest)
         latest_metrics = latest.get("metrics") or {}
+        uncalibrated = 0
         for name in sorted(latest_metrics):
             if metric_filter and metric_filter not in name:
                 continue
@@ -271,10 +276,17 @@ def analyze_records(
                 if name not in past_metrics:
                     continue
                 past_value = float(past_metrics[name])
-                if time_like and latest_cal > 0:
+                if time_like:
                     past_cal = _calibration(past)
-                    if past_cal > 0:
+                    if latest_cal > 0 and past_cal > 0:
                         past_value *= latest_cal / past_cal
+                    elif (latest_cal > 0) != (past_cal > 0):
+                        # Exactly one side carries a machine-speed
+                        # token: the scaling ratio is unknown, so a raw
+                        # comparison would gate wall clock against a
+                        # foreign machine. Skip the pair, note it.
+                        uncalibrated += 1
+                        continue
                 samples.append(past_value)
             if not samples:
                 continue
@@ -306,13 +318,29 @@ def analyze_records(
                     flagged=flagged,
                 )
             )
+        if uncalibrated:
+            group.notes.append(
+                f"skipped {uncalibrated} uncalibrated wall-clock "
+                "sample(s) (no machine-speed token on one side — "
+                "uncomparable across machines)"
+            )
         report.groups.append(group)
     report.groups.sort(key=lambda g: (g.kind, g.digest))
     return report
 
 
 def analyze_ledger(
-    ledger_dir: "str | pathlib.Path | None" = None, **kwargs
+    ledger_dir: "str | pathlib.Path | list | tuple | None" = None, **kwargs
 ) -> TrendReport:
-    """Load a ledger directory and analyze it (see :func:`analyze_records`)."""
+    """Load one ledger directory — or merge several — and analyze it.
+
+    A list/tuple of directories is read with
+    :func:`~repro.obs.ledger.read_ledgers` (records interleaved by
+    creation time), so shards written by parallel CI jobs or different
+    machines aggregate into the same ``(kind, config_digest)`` groups.
+    """
+    if isinstance(ledger_dir, (list, tuple)):
+        if len(ledger_dir) == 1:
+            return analyze_records(read_ledger(ledger_dir[0]), **kwargs)
+        return analyze_records(read_ledgers(ledger_dir), **kwargs)
     return analyze_records(read_ledger(ledger_dir), **kwargs)

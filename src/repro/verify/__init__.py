@@ -23,8 +23,10 @@ from .goldens import (
     default_goldens_root,
     frame_digest_text,
 )
+from .fuzz import check_fuzz_spec, shrink_spec
 from .report import (
     LAYER_DIFFERENTIAL,
+    LAYER_FUZZ,
     LAYER_GOLDEN,
     LAYER_METAMORPHIC,
     LAYERS,
@@ -38,6 +40,7 @@ __all__ = [
     "GoldenCheck",
     "GoldenStore",
     "LAYER_DIFFERENTIAL",
+    "LAYER_FUZZ",
     "LAYER_GOLDEN",
     "LAYER_METAMORPHIC",
     "LAYERS",
@@ -45,7 +48,9 @@ __all__ = [
     "VerifyConfig",
     "VerifyReport",
     "check_experiment_golden",
+    "check_fuzz_spec",
     "default_goldens_root",
+    "shrink_spec",
     "frame_digest_text",
     "list_oracles",
     "run_verify",

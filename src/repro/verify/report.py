@@ -21,7 +21,8 @@ REPORT_SCHEMA = 1
 LAYER_DIFFERENTIAL = "differential"
 LAYER_METAMORPHIC = "metamorphic"
 LAYER_GOLDEN = "golden"
-LAYERS = (LAYER_DIFFERENTIAL, LAYER_METAMORPHIC, LAYER_GOLDEN)
+LAYER_FUZZ = "fuzz"
+LAYERS = (LAYER_DIFFERENTIAL, LAYER_METAMORPHIC, LAYER_GOLDEN, LAYER_FUZZ)
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,11 @@ class VerifyConfig:
     goldens_root: "pathlib.Path | None" = None
     #: Regenerate goldens instead of checking them.
     update_goldens: bool = False
+    #: Generated scenarios the fuzz lane runs (0 = lane skipped).
+    fuzz: int = 0
+    #: Where the fuzz lane saves shrunk minimal repro specs (``None``
+    #: = print only).
+    fuzz_save: "pathlib.Path | None" = None
 
 
 @dataclass

@@ -19,6 +19,7 @@ import time
 from ..obs import TELEMETRY
 from ..resilience import FAULTS
 from .differential import DIFFERENTIAL_ORACLES
+from .fuzz import FUZZ_ORACLES
 from .goldens import (
     GOLDEN_EXPERIMENTS,
     GoldenStore,
@@ -139,8 +140,11 @@ def oracle_golden_frame(cfg: VerifyConfig) -> OracleResult:
 GOLDEN_ORACLES = (oracle_golden_tables, oracle_golden_frame)
 
 #: Every oracle, in execution order (cheap differential math first,
-#: then rendered metamorphic properties, then golden regeneration).
-ALL_ORACLES = DIFFERENTIAL_ORACLES + METAMORPHIC_ORACLES + GOLDEN_ORACLES
+#: then rendered metamorphic properties, then golden regeneration,
+#: then the opt-in fuzz lane over generated scenarios).
+ALL_ORACLES = (
+    DIFFERENTIAL_ORACLES + METAMORPHIC_ORACLES + GOLDEN_ORACLES + FUZZ_ORACLES
+)
 
 
 def list_oracles() -> "list[tuple[str, str]]":
@@ -164,12 +168,16 @@ def run_verify(
     only: "str | None" = None,
     goldens_root=None,
     update_goldens: bool = False,
+    fuzz: int = 0,
+    fuzz_save=None,
 ) -> VerifyReport:
     """Run the oracle suite and return the aggregated report.
 
     ``only`` filters oracles by substring match against the oracle
     function name or its layer (``--only differential`` runs one
-    layer; ``--only bilinear`` one oracle). An oracle that *raises* is
+    layer; ``--only bilinear`` one oracle). ``fuzz`` > 0 arms the fuzz
+    lane with that many generated scenarios (``fuzz_save`` persists
+    shrunk failing specs as corpus files). An oracle that *raises* is
     recorded as a failure, never aborts the run.
     """
     FAULTS.reset()  # hermetic: a leftover fault plan would poison verdicts
@@ -178,6 +186,8 @@ def run_verify(
         quick=quick,
         goldens_root=goldens_root,
         update_goldens=update_goldens,
+        fuzz=fuzz,
+        fuzz_save=fuzz_save,
     )
     report = VerifyReport(seed=seed, quick=quick)
     for fn, (name, layer) in zip(ALL_ORACLES, list_oracles()):

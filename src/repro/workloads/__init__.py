@@ -25,10 +25,22 @@ from .proctex import (
 from .scene import Scene, CameraPath, Workload
 from .games import GAME_WORKLOADS, TABLE2_ROWS, get_workload, workload_names
 from .rbench import rbench_workload
+from .fuzz import (
+    FUZZ_PREFIX,
+    PROFILES,
+    FuzzSpec,
+    fuzz_request,
+    fuzz_workload,
+    parse_fuzz_request,
+    spec_for,
+)
 
 __all__ = [
     "CameraPath",
+    "FUZZ_PREFIX",
+    "FuzzSpec",
     "GAME_WORKLOADS",
+    "PROFILES",
     "Scene",
     "TABLE2_ROWS",
     "Workload",
@@ -37,11 +49,15 @@ __all__ = [
     "checker_texture",
     "dirt_texture",
     "facade_texture",
+    "fuzz_request",
+    "fuzz_workload",
     "get_workload",
     "grass_texture",
     "metal_texture",
     "noise_texture",
+    "parse_fuzz_request",
     "rbench_workload",
+    "spec_for",
     "stone_texture",
     "water_texture",
     "wood_texture",

@@ -214,3 +214,102 @@ class TestLedgerEntryPoint:
     def test_empty_ledger_formats_gracefully(self, tmp_path):
         report = analyze_ledger(tmp_path / "empty")
         assert "empty ledger" in report.format()
+
+
+class TestForeignCalibration:
+    """Records whose machine token is missing are *uncomparable* for
+    wall-clock metrics: scaling by an unknown ratio would gate against
+    garbage. They must be skipped with a visible note — never crash,
+    never silently compared raw."""
+
+    def test_uncalibrated_history_is_skipped_with_note(self):
+        # Foreign records (calibration 0) carry a wildly slower span; a
+        # raw comparison would flag the calibrated latest run... or
+        # worse, a wildly *faster* foreign history would silently gate.
+        foreign = [record({"stage_ms.a": 1000.0, "counter.x": 7.0},
+                          calibration_ms=0.0) for _ in range(3)]
+        latest = record({"stage_ms.a": 5.0, "counter.x": 7.0},
+                        calibration_ms=10.0)
+        report = analyze_records(foreign + [latest])
+        group = report.groups[0]
+        names = [m.name for m in group.metrics]
+        # The time metric has no comparable history; the counter (not
+        # calibration-dependent) still compares.
+        assert names == ["counter.x"]
+        assert report.regressions == []
+        assert any("uncalibrated" in note for note in group.notes)
+        assert "uncalibrated" in report.format()
+
+    def test_uncalibrated_latest_never_gates_time_metrics(self):
+        history = [record({"stage_ms.a": 5.0}, calibration_ms=10.0)
+                   for _ in range(3)]
+        latest = record({"stage_ms.a": 1000.0}, calibration_ms=0.0)
+        report = analyze_records(history + [latest])
+        group = report.groups[0]
+        assert group.metrics == []
+        assert report.regressions == []
+        assert any("uncalibrated" in note for note in group.notes)
+
+    def test_both_sides_uncalibrated_still_compare_raw(self):
+        # Same (unknown) machine on both sides: raw comparison is the
+        # best available and stays armed.
+        rows = [record({"stage_ms.a": 10.0}, calibration_ms=0.0)
+                for _ in range(3)]
+        report = analyze_records(rows + [record({"stage_ms.a": 100.0},
+                                                calibration_ms=0.0)])
+        assert len(report.regressions) == 1
+
+    def test_non_dict_machine_field_does_not_crash(self):
+        rows = [record({"counter.x": 5.0}) for _ in range(2)]
+        rows[0]["machine"] = None
+        rows[1]["machine"] = "mangled"
+        report = analyze_records(rows)
+        assert report.groups and report.regressions == []
+
+    def test_mixed_history_uses_only_calibrated_samples(self):
+        mixed = [record({"stage_ms.a": 1000.0}, calibration_ms=0.0)]
+        mixed += [record({"stage_ms.a": 10.0}, calibration_ms=10.0)
+                  for _ in range(3)]
+        latest = record({"stage_ms.a": 10.0}, calibration_ms=10.0)
+        report = analyze_records(mixed + [latest])
+        (trend,) = report.groups[0].metrics
+        assert trend.samples == 3
+        assert trend.median == pytest.approx(10.0)
+        assert not trend.flagged
+
+
+class TestMultiLedger:
+    def _fill(self, ledger_dir, value, *, n=1):
+        from repro.obs import append_record, build_record
+
+        for _ in range(n):
+            append_record(
+                build_record("fleet", config={"workload": "fuzz@0"},
+                             calibration_ms=1.0,
+                             metrics={"counter.x": value}),
+                ledger_dir,
+            )
+
+    def test_read_ledgers_merges_directories(self, tmp_path):
+        from repro.obs.ledger import read_ledgers
+
+        self._fill(tmp_path / "a", 5.0, n=2)
+        self._fill(tmp_path / "b", 5.0, n=1)
+        records = read_ledgers([tmp_path / "a", tmp_path / "b"])
+        assert len(records) == 3
+        created = [r["created"] for r in records]
+        assert created == sorted(created)
+        assert read_ledgers([tmp_path / "a", tmp_path / "missing"]) \
+            == read_ledgers([tmp_path / "a"])
+
+    def test_analyze_ledger_accepts_a_directory_list(self, tmp_path):
+        self._fill(tmp_path / "a", 5.0, n=2)
+        self._fill(tmp_path / "b", 50.0, n=1)
+        # Single dir: identical history, no regression.
+        assert analyze_ledger(tmp_path / "a").regressions == []
+        # Merged: the b-shard's drifted counter lands in the same
+        # (kind, digest) group and is flagged.
+        report = analyze_ledger([tmp_path / "a", tmp_path / "b"])
+        (group,) = report.groups
+        assert group.runs == 3
+        assert len(report.regressions) == 1

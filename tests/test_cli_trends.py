@@ -84,3 +84,44 @@ class TestTrendGate:
         out = capsys.readouterr().out
         assert "duration_s" in out
         assert "counter.session.capture_frames" in out
+
+
+def inject_perturbed(src_dir, dst_dir, *, created):
+    """Copy src's newest record into dst with a drifted counter.
+
+    ``created`` must be strictly newest so the merged analysis treats
+    the injected record as the latest run of its group.
+    """
+    records = [json.loads(line)
+               for line in ledger_path(src_dir).read_text().splitlines()]
+    bad = dict(records[-1])
+    bad["metrics"] = dict(bad["metrics"])
+    name = "counter.session.capture_frames"
+    assert name in bad["metrics"]
+    bad["metrics"][name] *= 2.0
+    bad["created"] = created
+    with ledger_path(dst_dir).open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(bad) + "\n")
+
+
+class TestMultiLedgerGate:
+    def test_two_dirs_aggregate_and_flag_drift_in_either(
+        self, tmp_path, capsys
+    ):
+        a, b = tmp_path / "a", tmp_path / "b"
+        run_experiment(a)
+        run_experiment(b)
+        capsys.readouterr()
+        # The shards merge into one comparable group...
+        assert main(["trends", "--ledger", str(a), str(b), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("== experiment") == 1
+        assert "2 run(s)" in out
+        # ...and an injected drift gates regardless of which shard
+        # holds the newest record.
+        inject_perturbed(a, a, created="2999-01-01T00:00:00+00:00")
+        assert main(["trends", "--ledger", str(a), str(b), "--check"]) == 1
+        inject_perturbed(b, b, created="2999-02-01T00:00:00+00:00")
+        capsys.readouterr()
+        assert main(["trends", "--ledger", str(a), str(b), "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

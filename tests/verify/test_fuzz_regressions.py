@@ -1,0 +1,61 @@
+"""Replay the fuzz regression corpus through the full oracle stack.
+
+Every file under ``tests/goldens/fuzz_regressions/`` is a scenario the
+fuzz lane once shrank from a real failure (``repro verify --fuzz N
+--fuzz-save`` writes them). Replaying both the original and the
+minimal spec through :func:`repro.verify.check_fuzz_spec` — the exact
+code path that found them — turns each past bug into a permanent
+tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.verify import check_fuzz_spec
+from repro.verify.fuzz import CORPUS_SCHEMA
+from repro.workloads.fuzz import FuzzSpec
+
+CORPUS = pathlib.Path(__file__).resolve().parents[1] / "goldens" / "fuzz_regressions"
+
+
+def corpus_entries():
+    return sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    # The replayer must never silently pass because the directory
+    # vanished; at least the bring-up entry is committed.
+    assert corpus_entries(), f"no corpus files under {CORPUS}"
+
+
+@pytest.mark.parametrize(
+    "path", corpus_entries(), ids=lambda p: p.stem
+)
+class TestCorpusReplay:
+    def test_entry_is_well_formed(self, path):
+        entry = json.loads(path.read_text())
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert entry["failed"], "corpus entry must name its failing checks"
+        # Both specs must still parse and stay within generator bounds.
+        FuzzSpec.from_dict(entry["spec"])
+        FuzzSpec.from_dict(entry["minimal_spec"])
+
+    def test_minimal_spec_passes_the_oracle_stack(self, path):
+        entry = json.loads(path.read_text())
+        outcome = check_fuzz_spec(FuzzSpec.from_dict(entry["minimal_spec"]))
+        assert outcome["passed"], (
+            f"regression resurfaced: {path.name} fails "
+            f"{outcome['failed']} again (originally {entry['failed']})"
+        )
+
+    def test_original_spec_passes_the_oracle_stack(self, path):
+        entry = json.loads(path.read_text())
+        outcome = check_fuzz_spec(FuzzSpec.from_dict(entry["spec"]))
+        assert outcome["passed"], (
+            f"regression resurfaced: {path.name} fails "
+            f"{outcome['failed']} again (originally {entry['failed']})"
+        )
