@@ -19,6 +19,15 @@ Subcommands:
 * ``trends`` — analyze the persistent run ledger: compare each
   metric's newest value against a median±MAD band over comparable
   past runs; ``--check`` exits nonzero on flagged regressions.
+* ``serve`` — run the render service: an asyncio JSON-lines front-end
+  that coalesces concurrent eval/render requests into engine batches
+  and executes them on the in-process pool or remote socket workers
+  (``docs/architecture.md``, service section).
+* ``worker`` — run one remote socket worker that dials into a serve
+  parent (normally spawned automatically by ``--backend remote``).
+* ``store`` — capture-store maintenance: ``store stats`` reports
+  per-shard entry counts/bytes plus the ``.corrupt/`` quarantine,
+  ``store prune`` applies the size-bounded LRU eviction offline.
 
 ``experiment``/``report``/``profile``/``verify`` append one
 schema-versioned record per run to the run ledger (default
@@ -85,7 +94,7 @@ from .obs.trends import (
     DEFAULT_TIME_FLOOR,
     DEFAULT_WINDOW,
 )
-from .resilience import FAULTS, FaultPlan
+from .resilience import DEFAULT_MAX_PENDING, FAULTS, FaultPlan
 from .quality.imageio import write_pgm, write_ppm
 from .quality.ssim import ssim_map
 from .renderer.pipeline import DEFAULT_RASTER, DEFAULT_RASTER_TILE, RASTER_MODES
@@ -722,6 +731,96 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the render service until a client sends ``shutdown``."""
+    from .service.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        scale=args.scale,
+        jobs=args.jobs,
+        backend=args.backend,
+        store_root=args.capture_cache,
+        store_prefix=args.store_prefix,
+        store_max_bytes=args.store_max_bytes,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+        job_timeout=args.job_timeout,
+        raster=args.raster,
+        raster_tile=args.raster_tile,
+    )
+    return run_server(config)
+
+
+def _cmd_worker(args) -> int:
+    """Run one remote socket worker (see ``repro.engine.remote``)."""
+    from .engine.remote import worker_main
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    return worker_main(host, int(port))
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def _cmd_store(args) -> int:
+    """Capture-store maintenance: per-shard stats + offline eviction."""
+    from .engine.capture_store import ShardedCaptureStore, detect_shard_prefix
+
+    root = pathlib.Path(args.dir)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    prefix = args.prefix or detect_shard_prefix(root) or 1
+    store = ShardedCaptureStore(root, prefix=prefix)
+    if args.store_command == "prune":
+        if args.dry_run:
+            entries = store.entries()
+            total = sum(size for _, size, _ in entries)
+            over = max(0, total - args.max_bytes)
+            would = 0
+            acc = 0
+            for _path, size, _ in entries:
+                if acc >= over:
+                    break
+                acc += size
+                would += 1
+            print(f"would evict {would} entry(ies), "
+                  f"{_format_bytes(acc)} of {_format_bytes(total)}")
+            return 0
+        evicted, freed = store.prune(args.max_bytes)
+        print(f"evicted {evicted} entry(ies), freed {_format_bytes(freed)}")
+    shard_stats = store.shard_stats()
+    entries = store.entries()
+    total = sum(size for _, size, _ in entries)
+    print(f"== capture store: {root} (shard prefix {prefix}, "
+          f"{len(entries)} entry(ies), {_format_bytes(total)}) ==")
+    if shard_stats:
+        width = max(len("shard"), *(len(s or "(flat)") for s in shard_stats))
+        print(f"{'shard':<{width}}  {'entries':>8}  {'bytes':>12}")
+        for shard in sorted(shard_stats):
+            bucket = shard_stats[shard]
+            print(f"{shard or '(flat)':<{width}}  "
+                  f"{bucket['entries']:>8}  "
+                  f"{_format_bytes(bucket['bytes']):>12}")
+    corrupt_count, corrupt_size = store.corrupt_bytes()
+    print(f".corrupt/ quarantine: {corrupt_count} file(s), "
+          f"{_format_bytes(corrupt_size)}")
+    return 0
+
+
 def _cmd_trends(args) -> int:
     """Analyze the run ledger for metric regressions."""
     from .obs import analyze_ledger
@@ -855,6 +954,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ledger_args(p_prof)
     _add_fault_args(p_prof)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the render service (JSON-lines over TCP; see "
+             "docs/architecture.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; the "
+                            "protocol is a trusted internal channel)")
+    p_srv.add_argument("--port", type=int, default=7070,
+                       help="TCP port (default 7070; 0 = ephemeral, "
+                            "printed on stderr)")
+    p_srv.add_argument("--backend",
+                       choices=("serial", "process", "remote"),
+                       default=None,
+                       help="execution backend (default: process when "
+                            "--jobs > 1, else serial; 'remote' uses "
+                            "TCP socket workers)")
+    p_srv.add_argument("--max-pending", type=int, dest="max_pending",
+                       default=DEFAULT_MAX_PENDING, metavar="N",
+                       help="admission control: reject (429-style) "
+                            "beyond N queued+executing requests "
+                            f"(default {DEFAULT_MAX_PENDING})")
+    p_srv.add_argument("--max-batch", type=int, dest="max_batch",
+                       default=64, metavar="N",
+                       help="largest request batch one engine dispatch "
+                            "coalesces (default 64)")
+    p_srv.add_argument("--batch-window", type=float, dest="batch_window",
+                       default=0.0, metavar="SECONDS",
+                       help="extra wait for stragglers after the first "
+                            "queued request (default 0 = drain-only "
+                            "batching, lone clients never delayed)")
+    p_srv.add_argument("--store-prefix", type=int, dest="store_prefix",
+                       default=1, metavar="HEXCHARS",
+                       help="capture-store shard prefix width "
+                            "(default 1 = 16 shards)")
+    p_srv.add_argument("--store-max-bytes", type=int,
+                       dest="store_max_bytes", default=None,
+                       metavar="BYTES",
+                       help="LRU-evict the capture store beyond this "
+                            "size (default: unbounded)")
+    _add_session_args(p_srv)
+    _add_engine_args(p_srv)
+    _add_obs_args(p_srv)
+    _add_fault_args(p_srv)
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="run one remote socket worker (spawned by serve "
+             "--backend remote, or started by hand)",
+    )
+    p_wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="dial this serve parent's worker listener")
+
+    p_store = sub.add_parser(
+        "store",
+        help="capture-store maintenance: per-shard stats, offline "
+             "LRU eviction",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="per-shard entry counts/bytes + quarantine size"
+    )
+    p_sstats.add_argument("dir", help="capture store directory")
+    p_sstats.add_argument("--prefix", type=int, default=None,
+                          metavar="HEXCHARS",
+                          help="shard prefix width (default: detected)")
+    p_sprune = store_sub.add_parser(
+        "prune", help="apply the size-bounded LRU eviction offline"
+    )
+    p_sprune.add_argument("dir", help="capture store directory")
+    p_sprune.add_argument("--max-bytes", type=int, required=True,
+                          dest="max_bytes", metavar="BYTES",
+                          help="evict oldest entries until the store "
+                               "fits this budget")
+    p_sprune.add_argument("--prefix", type=int, default=None,
+                          metavar="HEXCHARS",
+                          help="shard prefix width (default: detected)")
+    p_sprune.add_argument("--dry-run", action="store_true", dest="dry_run",
+                          help="report what would be evicted, delete "
+                               "nothing")
+
     p_tr = sub.add_parser(
         "trends",
         help="analyze the run ledger: flag metrics leaving their trend band",
@@ -865,7 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "shards, multiple machines)")
     p_tr.add_argument("--kind", default=None,
                       help="only analyze records of this kind (experiment, "
-                           "report, profile, verify, hotpath, fleet)")
+                           "report, profile, verify, hotpath, fleet, serve)")
     p_tr.add_argument("--metric", default=None, metavar="SUBSTR",
                       help="only metrics whose name contains SUBSTR")
     p_tr.add_argument("--window", type=int, default=DEFAULT_WINDOW,
@@ -903,6 +1083,9 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "verify": _cmd_verify,
         "trends": _cmd_trends,
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "store": _cmd_store,
     }
     started = time.perf_counter()
     _RUN_NOTES.clear()

@@ -12,7 +12,15 @@ See ``docs/architecture.md`` (engine section) for the full design.
 
 from __future__ import annotations
 
-from .capture_store import STORE_VERSION, CaptureStore, capture_spec, spec_digest
+from .capture_store import (
+    STORE_VERSION,
+    CaptureStore,
+    ShardedCaptureStore,
+    capture_spec,
+    detect_shard_prefix,
+    make_store,
+    spec_digest,
+)
 from .jobs import (
     DEFAULT_CONFIG,
     KIND_CAPTURE,
@@ -43,7 +51,10 @@ from .worker import (
 __all__ = [
     "STORE_VERSION",
     "CaptureStore",
+    "ShardedCaptureStore",
     "capture_spec",
+    "detect_shard_prefix",
+    "make_store",
     "spec_digest",
     "DEFAULT_CONFIG",
     "KIND_CAPTURE",

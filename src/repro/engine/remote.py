@@ -1,0 +1,444 @@
+"""Remote TCP socket workers: the engine's networked pool backend.
+
+The process backend parallelizes with a forked
+``ProcessPoolExecutor``; this module provides the same executor
+surface over TCP sockets, so workers can live in *other* processes
+started independently of the parent — on this machine or (the store
+root permitting) another one. The parent side is
+:class:`RemoteWorkerPool`; the worker side is :func:`worker_main`,
+reachable as ``repro worker --connect HOST:PORT``.
+
+The wire protocol is deliberately thin — it reuses the engine's
+existing contracts instead of inventing new ones:
+
+* on connect the parent sends one pickled
+  :class:`~repro.engine.worker.WorkerSpec`; the worker arms itself with
+  the same :func:`~repro.engine.worker.init_worker` a forked pool
+  worker runs, replies ``("ready", pid)``, and waits for tasks;
+* each task is one pickled ``(fn, args)`` pair — the same module-level
+  callables the process backend submits
+  (:func:`~repro.engine.worker.run_job_chunk`,
+  :func:`~repro.engine.tiles.run_tile_part`) pickle by reference;
+* each reply is ``("ok", outcome)`` or ``("exc", exception)`` —
+  chunk outcomes keep their existing shape
+  (:func:`repro.resilience.guards.valid_chunk_outcome`), so results
+  merge through the exact code path process-pool results do.
+
+Every frame is length-prefixed pickle. Pickle over a socket is an
+*internal, trusted* channel — identical in kind to the pipes under
+``ProcessPoolExecutor`` — so the listener binds loopback by default
+and the protocol must never be exposed to untrusted peers.
+
+Failure semantics mirror the process pool on purpose: a worker that
+dies (chaos kill, crash, unplugged network) surfaces as
+``BrokenProcessPool`` on its futures and poisons the whole pool, a
+worker that hangs blows the caller's ``future.result(timeout=...)``
+deadline — exactly the two signals
+:class:`~repro.engine.supervision.ChunkSupervisor` already handles, so
+deadlines, bisection and quarantine apply unchanged over the network.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pathlib
+import pickle
+import queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from ..errors import ResilienceError
+from ..obs import TELEMETRY
+from .worker import WorkerSpec, init_worker
+
+#: Frame header: unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct(">Q")
+
+#: Refuse absurd frames (a desynced peer, not a real payload).
+_MAX_FRAME = 1 << 34
+
+#: How long the parent waits for the worker fleet to dial in.
+CONNECT_TIMEOUT_S = 60.0
+
+#: Exit status a worker returns when its parent hangs up cleanly.
+WORKER_EXIT_OK = 0
+
+
+class RemoteWorkerError(ResilienceError):
+    """Remote-pool setup failed (bind, spawn, or worker handshake)."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one frame; raises EOFError on a closed or desynced peer."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise EOFError(f"oversized frame ({length} bytes): peer desynced")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError("connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def worker_main(host: str, port: int) -> int:
+    """Run one socket worker until the parent hangs up.
+
+    Dials ``host:port``, receives its :class:`WorkerSpec`, arms itself
+    exactly like a forked pool worker, then serves one task at a time.
+    Exceptions never cross as exceptions mid-protocol — they travel as
+    ``("exc", error)`` frames; only chaos (``os._exit``) or a dead
+    parent ends the loop.
+    """
+    sock = socket.create_connection((host, port), timeout=CONNECT_TIMEOUT_S)
+    sock.settimeout(None)
+    try:
+        spec = recv_frame(sock)
+        if not isinstance(spec, WorkerSpec):
+            raise EOFError(f"expected WorkerSpec, got {type(spec).__name__}")
+        try:
+            init_worker(spec)
+        except Exception as exc:  # noqa: BLE001 — shipped to the parent
+            send_frame(sock, ("init_error", _portable(exc)))
+            return 1
+        send_frame(sock, ("ready", os.getpid()))
+        while True:
+            try:
+                task = recv_frame(sock)
+            except (EOFError, OSError):
+                return WORKER_EXIT_OK  # parent hung up: clean retirement
+            fn, args = task
+            try:
+                result = fn(*args)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — shipped as a frame
+                send_frame(sock, ("exc", _portable(exc)))
+                continue
+            send_frame(sock, ("ok", result))
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _portable(exc: BaseException) -> BaseException:
+    """An exception safe to pickle across the socket."""
+    try:
+        pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+        return exc
+    except Exception:  # noqa: BLE001 — fall back to a plain envelope
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _Connection:
+    """One accepted worker socket plus its dispatcher thread."""
+
+    def __init__(self, pool: "RemoteWorkerPool", sock: socket.socket,
+                 pid: "int | None") -> None:
+        self.pool = pool
+        self.sock = sock
+        self.pid = pid
+        self.thread = threading.Thread(
+            target=self._dispatch, name="repro-remote-dispatch", daemon=True
+        )
+
+    def _dispatch(self) -> None:
+        pool = self.pool
+        while True:
+            item = pool._tasks.get()
+            if item is None:
+                return
+            fn, args, future = item
+            if pool._broken or not future.set_running_or_notify_cancel():
+                if not future.done():
+                    future.set_exception(BrokenProcessPool(
+                        "remote worker pool is broken"
+                    ))
+                continue
+            try:
+                send_frame(self.sock, (fn, args))
+                status, payload = recv_frame(self.sock)
+            except (OSError, EOFError) as exc:
+                # The socket died mid-task: this worker is gone, and —
+                # matching ProcessPoolExecutor semantics — the whole
+                # pool is broken; the supervisor rebuilds it.
+                future.set_exception(BrokenProcessPool(
+                    f"remote worker (pid {self.pid}) died mid-task: {exc}"
+                ))
+                pool._mark_broken()
+                return
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(payload)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteWorkerPool:
+    """An executor of TCP socket workers (see module doc).
+
+    Presents the subset of the ``concurrent.futures`` executor surface
+    the engine uses (``submit``/``shutdown``), so
+    :class:`~repro.engine.supervision.ChunkSupervisor` and the tile
+    dispatcher drive it exactly like a process pool.
+
+    By default the pool listens on loopback and spawns its own worker
+    subprocesses (``repro worker --connect``); with ``spawn=False`` it
+    only listens, and externally started workers — other machines,
+    a container fleet — dial in until ``jobs`` are connected.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        jobs: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: bool = True,
+        connect_timeout: float = CONNECT_TIMEOUT_S,
+    ) -> None:
+        self.spec = spec
+        self.jobs = jobs
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._broken = False
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._procs: "list[subprocess.Popen]" = []
+        self._connections: "list[_Connection]" = []
+        self._listener = socket.create_server(
+            (host, port), backlog=max(jobs, 1)
+        )
+        self.address = self._listener.getsockname()[:2]
+        try:
+            if spawn:
+                self._spawn_workers()
+            self._accept_workers(connect_timeout)
+        except BaseException:
+            self.terminate()
+            raise
+        TELEMETRY.progress(
+            f"remote pool: {jobs} worker(s) connected on "
+            f"{self.address[0]}:{self.address[1]}"
+        )
+
+    # -- setup ----------------------------------------------------------
+
+    def _spawn_workers(self) -> None:
+        host, port = self.address
+        src_root = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        command = [
+            sys.executable, "-m", "repro",
+            "worker", "--connect", f"{host}:{port}",
+        ]
+        for _ in range(self.jobs):
+            self._procs.append(subprocess.Popen(
+                command,
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stdin=subprocess.DEVNULL,
+            ))
+
+    def _accept_workers(self, connect_timeout: float) -> None:
+        self._listener.settimeout(connect_timeout)
+        for _ in range(self.jobs):
+            try:
+                sock, _addr = self._listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise RemoteWorkerError(
+                    f"remote pool: only {len(self._connections)} of "
+                    f"{self.jobs} worker(s) connected within "
+                    f"{connect_timeout:g}s: {exc}"
+                ) from exc
+            sock.settimeout(None)
+            try:
+                send_frame(sock, self.spec)
+                status, payload = recv_frame(sock)
+            except (OSError, EOFError) as exc:
+                raise RemoteWorkerError(
+                    f"remote worker handshake failed: {exc}"
+                ) from exc
+            if status != "ready":
+                raise RemoteWorkerError(
+                    f"remote worker failed to initialize: {payload}"
+                )
+            connection = _Connection(self, sock, payload)
+            self._connections.append(connection)
+            connection.thread.start()
+
+    # -- executor surface ------------------------------------------------
+
+    def submit(self, fn, *args) -> Future:
+        """Schedule ``fn(*args)`` on the next free worker."""
+        with self._lock:
+            if self._broken:
+                raise BrokenProcessPool("remote worker pool is broken")
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down pool")
+            future: Future = Future()
+            self._tasks.put((fn, args, future))
+            return future
+
+    def _mark_broken(self) -> None:
+        """Fail every queued task; the pool is done (rebuild to go on)."""
+        with self._lock:
+            if self._broken:
+                return
+            self._broken = True
+        TELEMETRY.count("resilience.remote_pool_broken")
+        while True:
+            try:
+                item = self._tasks.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            _fn, _args, future = item
+            if not future.done():
+                future.set_exception(
+                    BrokenProcessPool("remote worker pool is broken")
+                )
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Retire the fleet: close sockets, end subprocesses."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._connections:
+            self._tasks.put(None)
+        for connection in self._connections:
+            connection.close()
+        if wait:
+            for connection in self._connections:
+                connection.thread.join(timeout=5.0)
+        for proc in self._procs:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+        if wait:
+            for proc in self._procs:
+                try:
+                    proc.wait(timeout=5.0)
+                except (subprocess.TimeoutExpired, OSError):
+                    proc.kill()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def terminate(self) -> None:
+        """SIGKILL the fleet — the discard path for hung workers."""
+        self._mark_broken()
+        for proc in self._procs:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        self.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# Shared registry (mirrors the process-pool registry in scheduler.py)
+# ----------------------------------------------------------------------
+
+_MAX_REMOTE_POOLS = 2
+_REMOTE_POOLS: "list[tuple[tuple, RemoteWorkerPool]]" = []
+
+
+def shared_remote_pool(spec: WorkerSpec, jobs: int) -> RemoteWorkerPool:
+    """The persistent remote pool for ``(spec, jobs)``, LRU-cached."""
+    key = (spec, jobs)
+    for i, (pool_key, pool) in enumerate(_REMOTE_POOLS):
+        if pool_key != key:
+            continue
+        if pool.broken:
+            _REMOTE_POOLS.pop(i)
+            pool.terminate()
+            break
+        if i != len(_REMOTE_POOLS) - 1:
+            _REMOTE_POOLS.append(_REMOTE_POOLS.pop(i))
+        return pool
+    pool = RemoteWorkerPool(spec, jobs)
+    _REMOTE_POOLS.append((key, pool))
+    while len(_REMOTE_POOLS) > _MAX_REMOTE_POOLS:
+        _, evicted = _REMOTE_POOLS.pop(0)
+        evicted.terminate()
+    return pool
+
+
+def discard_remote_pool(spec: WorkerSpec, jobs: int) -> bool:
+    """Evict and kill the registered remote pool for ``(spec, jobs)``."""
+    key = (spec, jobs)
+    for i, (pool_key, pool) in enumerate(_REMOTE_POOLS):
+        if pool_key == key:
+            _REMOTE_POOLS.pop(i)
+            pool.terminate()
+            return True
+    return False
+
+
+def shutdown_remote_pools() -> None:
+    """Tear down every shared remote pool (idempotent; atexit)."""
+    while _REMOTE_POOLS:
+        _, pool = _REMOTE_POOLS.pop()
+        pool.terminate()
+
+
+atexit.register(shutdown_remote_pools)

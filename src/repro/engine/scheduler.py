@@ -191,7 +191,7 @@ class Engine:
             with TELEMETRY.span(
                 "engine.execute", jobs=len(pending), backend=self.backend_name
             ):
-                if ctx.jobs > 1:
+                if ctx.jobs > 1 or self.backend_name == "remote":
                     self._execute_process(pending, report)
                 else:
                     self._execute_serial(pending, report)
@@ -204,6 +204,9 @@ class Engine:
 
     @property
     def backend_name(self) -> str:
+        configured = getattr(self.ctx, "backend", None)
+        if configured:
+            return configured
         return "process" if self.ctx.jobs > 1 else "serial"
 
     # -- serial backend -------------------------------------------------
@@ -230,14 +233,21 @@ class Engine:
 
     # -- process backend ------------------------------------------------
 
-    def _pool(self, spec: WorkerSpec) -> concurrent.futures.ProcessPoolExecutor:
+    def _pool(self, spec: WorkerSpec):
         """The persistent worker pool for ``spec`` (created on demand).
 
         Pools live in the module-level shared registry, so they outlive
         not just one ``execute()`` call but the engine itself — worker
         warm state (cached sessions, loaded captures) carries over to
-        later contexts with an identical spec and worker count.
+        later contexts with an identical spec and worker count. On the
+        ``remote`` backend the pool is a
+        :class:`~repro.engine.remote.RemoteWorkerPool` of TCP socket
+        workers with the same executor surface.
         """
+        if self.backend_name == "remote":
+            from .remote import shared_remote_pool
+
+            return shared_remote_pool(spec, self.ctx.jobs)
         return _shared_pool(spec, self.ctx.jobs)
 
     def _rebuild_pool(self, spec: WorkerSpec) -> None:
@@ -248,7 +258,13 @@ class Engine:
         ``jobs`` ``resilience.worker_restarts`` — the whole fleet goes
         down with the pool.
         """
-        if discard_pool(spec, self.ctx.jobs):
+        if self.backend_name == "remote":
+            from .remote import discard_remote_pool
+
+            discarded = discard_remote_pool(spec, self.ctx.jobs)
+        else:
+            discarded = discard_pool(spec, self.ctx.jobs)
+        if discarded:
             TELEMETRY.count("resilience.pool_rebuilds")
             TELEMETRY.count("resilience.worker_restarts", self.ctx.jobs)
             TELEMETRY.progress(
@@ -267,6 +283,7 @@ class Engine:
             fault_plan=FAULTS.plan if FAULTS.enabled else None,
             raster=ctx.raster,
             raster_tile=ctx.raster_tile,
+            store_prefix=getattr(store, "prefix", 0),
         )
         # Wave 1: planned capture jobs, plus one *synthetic* render per
         # distinct (workload, frame, variant) the eval jobs need and the
@@ -479,11 +496,16 @@ class Engine:
         FAULTS.merge_injected(outcome[-2])
         store = ctx.capture_store
         if store is not None:
-            hits, misses, writes, corrupt = outcome[-1]
+            delta = outcome[-1]
+            hits, misses, writes, corrupt = delta[:4]
             store.stats.hits += hits
             store.stats.misses += misses
             store.stats.writes += writes
             store.stats.corrupt += corrupt
+            shards = delta[4] if len(delta) > 4 else None
+            merge_traffic = getattr(store, "merge_traffic", None)
+            if shards and merge_traffic is not None:
+                merge_traffic(shards)
         if status == "ok":
             if counted:
                 report.executed += 1

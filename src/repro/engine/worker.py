@@ -36,7 +36,7 @@ from ..workloads.games import get_workload
 from ..workloads.rbench import rbench_workload
 from ..workloads.scene import Workload
 from ..workloads.vr import vr_workload
-from .capture_store import CaptureStore, capture_spec
+from .capture_store import capture_spec, make_store
 from .jobs import KIND_EVAL, CaptureVariant, ConfigKey, EvalJob
 
 #: Workload-request prefix for stereo variants: ``"VR@2:doom3-1280x1024"``
@@ -220,6 +220,9 @@ class WorkerSpec:
     fault_plan: "FaultPlan | None" = None
     raster: str = DEFAULT_RASTER
     raster_tile: int = DEFAULT_RASTER_TILE
+    #: Shard-prefix width of the capture store (0 = flat layout); every
+    #: worker must open the store with the same layout as the parent.
+    store_prefix: int = 0
 
 
 class _WorkerState:
@@ -227,7 +230,9 @@ class _WorkerState:
 
     def __init__(self, spec: WorkerSpec) -> None:
         self.spec = spec
-        self.store = CaptureStore(spec.store_root)
+        self.store = make_store(
+            spec.store_root, prefix=spec.store_prefix
+        )
         self._sessions: "dict[tuple, RenderSession]" = {}
         self._captures: "dict[tuple, FrameCapture]" = {}
 
@@ -329,15 +334,36 @@ def _chaos_site(job: EvalJob) -> None:
         time.sleep(_CHAOS_HANG_S)
 
 
-def _store_delta(
-    before: "tuple[int, int, int, int]",
-) -> "tuple[int, int, int, int]":
+def _store_before() -> tuple:
+    """Snapshot the worker store's counters for later delta-taking."""
     stats = _STATE.store.stats
+    traffic = getattr(_STATE.store, "shard_traffic", None) or {}
+    return (
+        stats.hits, stats.misses, stats.writes, stats.corrupt,
+        {shard: (t["hits"], t["misses"]) for shard, t in traffic.items()},
+    )
+
+
+def _store_delta(before: tuple) -> tuple:
+    """``(hits, misses, writes, corrupt, shard_traffic_or_None)``.
+
+    The per-shard element lets the parent's sharded store attribute
+    worker-side lookups to the right shard (flat stores ship None).
+    """
+    stats = _STATE.store.stats
+    traffic = getattr(_STATE.store, "shard_traffic", None) or {}
+    shards: "dict[str, dict[str, int]]" = {}
+    for shard, t in traffic.items():
+        h0, m0 = before[4].get(shard, (0, 0))
+        dh, dm = t["hits"] - h0, t["misses"] - m0
+        if dh or dm:
+            shards[shard] = {"hits": dh, "misses": dm}
     return (
         stats.hits - before[0],
         stats.misses - before[1],
         stats.writes - before[2],
         stats.corrupt - before[3],
+        shards or None,
     )
 
 
@@ -370,8 +396,7 @@ def run_job(job: EvalJob) -> tuple:
     assert _STATE is not None, "run_job before init_worker"
     TELEMETRY.reset()
     FAULTS.injected = {}
-    stats = _STATE.store.stats
-    before = (stats.hits, stats.misses, stats.writes, stats.corrupt)
+    before = _store_before()
     _chaos_site(job)
     status, a, b = _execute_one(job)
     if status == "err":
@@ -398,8 +423,7 @@ def run_job_chunk(jobs: "list[EvalJob]") -> "list[tuple]":
     assert _STATE is not None, "run_job_chunk before init_worker"
     TELEMETRY.reset()
     FAULTS.injected = {}
-    stats = _STATE.store.stats
-    before = (stats.hits, stats.misses, stats.writes, stats.corrupt)
+    before = _store_before()
     outcomes: "list[tuple]" = []
     for job in jobs:
         _chaos_site(job)

@@ -114,3 +114,22 @@ class WorkerTimeoutError(ResilienceError):
 
 class ChunkCorruptionError(ResilienceError):
     """A chunk's IPC result payload was truncated or malformed."""
+
+
+class AdmissionError(ResilienceError):
+    """The service declined a request because its queue is full.
+
+    The 429-style rejection of ``repro serve``'s admission control:
+    typed, immediate, and carrying a ``retry_after_s`` hint — a full
+    queue sheds load at the door instead of letting latency collapse.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class ProtocolError(ReproError):
+    """A service request line was malformed or semantically invalid."""

@@ -206,20 +206,34 @@ class ExperimentContext:
         checkpoint_path: "str | pathlib.Path | None" = None,
         checkpoint_every: int = 16,
         jobs: int = 1,
-        capture_cache: "str | pathlib.Path | None" = None,
+        capture_cache: "str | pathlib.Path | CaptureStore | None" = None,
         job_timeout: "float | None" = None,
         raster: str = DEFAULT_RASTER,
         raster_tile: int = DEFAULT_RASTER_TILE,
+        backend: "str | None" = None,
     ) -> None:
         if frames < 1:
             raise ExperimentError("need at least one frame per workload")
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if backend is None:
+            backend = "process" if jobs > 1 else "serial"
+        if backend not in ("serial", "process", "remote"):
+            raise ExperimentError(
+                f"unknown backend {backend!r} "
+                "(expected serial, process or remote)"
+            )
+        if backend == "serial" and jobs > 1:
+            backend = "process"
         self.scale = scale
         self.frames = frames
         self.workload_list = workloads
         self.base_config = config
         self.jobs = jobs
+        #: Execution backend: ``"serial"`` (in-process), ``"process"``
+        #: (fork pool), or ``"remote"`` (TCP socket workers — see
+        #: :mod:`repro.engine.remote`).
+        self.backend = backend
         #: Raster backend + tile size, threaded through every session
         #: this context builds (parent and pool workers alike) and into
         #: the capture-store key.
@@ -246,9 +260,12 @@ class ExperimentContext:
         )
         self.checkpoint_every = max(1, checkpoint_every)
         self._dirty_metrics = 0
-        self._store: "CaptureStore | None" = (
-            CaptureStore(capture_cache) if capture_cache else None
-        )
+        if isinstance(capture_cache, CaptureStore):
+            self._store: "CaptureStore | None" = capture_cache
+        else:
+            self._store = (
+                CaptureStore(capture_cache) if capture_cache else None
+            )
         self._tmp_store: "tempfile.TemporaryDirectory | None" = None
         self.engine = Engine(self)
 

@@ -45,7 +45,9 @@ LEDGER_FILE = "ledger.jsonl"
 
 #: Record kinds the toolkit emits (free-form kinds are allowed, these
 #: are the built-in emitters).
-KINDS = ("experiment", "report", "profile", "verify", "hotpath", "fleet")
+KINDS = (
+    "experiment", "report", "profile", "verify", "hotpath", "fleet", "serve",
+)
 
 #: Environment override for the default ledger directory (used by the
 #: test suite to keep checkouts clean).

@@ -93,8 +93,37 @@ def time_abs_floor(name: str) -> float:
     return 0.0
 
 
+def is_noisy_metric(name: str) -> bool:
+    """Is this metric scheduling-noisy even though it isn't a duration?
+
+    Service throughput and batching outcomes (requests/sec, speedup,
+    how many in-flight requests happened to drain into one batch,
+    queue depths) depend on machine speed and scheduling races, not
+    just on what the code computed — they get the same generous
+    treatment as wall clock: the ``--time-floor`` band and no flagging
+    until a group has :data:`MIN_TIME_SAMPLES` historical runs.
+    """
+    return (
+        "requests_per_sec" in name
+        or "_rps" in name
+        or "speedup" in name
+        or "coalesce" in name
+        or "batch" in name
+        or "queue_depth" in name
+    )
+
+
 def metric_direction(name: str) -> str:
     """Which way does this metric get *worse*?"""
+    if "requests_per_sec" in name or "coalesce" in name or "hit_rate" in name:
+        # Service throughput/batching/store-locality metrics: higher
+        # is healthier, a drop is the regression (sits above the time
+        # check so `serve.*_rate` names never read as wall-clock).
+        return DIRECTION_LOW_BAD
+    if "queue_depth" in name or "rejected" in name or "admission" in name:
+        # Service back-pressure: growth means the engine stopped
+        # keeping up and admission control started shedding load.
+        return DIRECTION_HIGH_BAD
     if is_time_metric(name) or "cycles" in name:
         return DIRECTION_HIGH_BAD
     if "tiles_culled" in name:
@@ -292,7 +321,8 @@ def analyze_records(
                 continue
             median = _median(samples)
             mad = _mad(samples, median)
-            floor = time_floor if time_like else exact_floor
+            noisy = time_like or is_noisy_metric(name)
+            floor = time_floor if noisy else exact_floor
             threshold = max(k * MAD_SIGMA * mad, floor * abs(median))
             if time_like:
                 threshold = max(threshold, time_abs_floor(name))
@@ -304,8 +334,8 @@ def analyze_records(
                 flagged = delta < -threshold
             else:
                 flagged = abs(delta) > threshold
-            if time_like and len(samples) < MIN_TIME_SAMPLES:
-                flagged = False  # wall clock is ungated until n >= 3
+            if noisy and len(samples) < MIN_TIME_SAMPLES:
+                flagged = False  # noise-prone metrics ungated until n >= 3
             group.metrics.append(
                 MetricTrend(
                     name=name,

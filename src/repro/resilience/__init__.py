@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .admission import DEFAULT_MAX_PENDING, AdmissionController
 from .checkpoint import SCHEMA_VERSION, load_checkpoint, save_checkpoint
 from .faults import FAULTS, FaultInjector, FaultPlan
 from .guards import (
@@ -58,6 +59,8 @@ class FailureRecord:
 
 
 __all__ = [
+    "AdmissionController",
+    "DEFAULT_MAX_PENDING",
     "DegradedResult",
     "FAULTS",
     "FailureRecord",

@@ -85,7 +85,8 @@ def valid_chunk_outcome(outcome: object) -> bool:
     :func:`repro.engine.worker.run_job_chunk`) is
     ``("ok", payload, telemetry, injected, store_delta)`` or
     ``("err", type_name, message, telemetry, injected, store_delta)``
-    with a 4-int store delta. Anything else — a truncated pickle, a
+    with a store delta of 4 ints, optionally followed by a per-shard
+    traffic dict (or None). Anything else — a truncated pickle, a
     chaos-corrupted payload, a foreign object — fails the check and the
     supervisor retries the chunk instead of merging garbage.
     """
@@ -105,11 +106,11 @@ def valid_chunk_outcome(outcome: object) -> bool:
     else:
         return False
     store = outcome[-1]
-    return (
-        isinstance(store, tuple)
-        and len(store) == 4
-        and all(isinstance(v, int) for v in store)
-    )
+    if not isinstance(store, tuple) or len(store) not in (4, 5):
+        return False
+    if not all(isinstance(v, int) for v in store[:4]):
+        return False
+    return len(store) == 4 or store[4] is None or isinstance(store[4], dict)
 
 
 def valid_chunk_outcomes(outcomes: object, expected: int) -> bool:

@@ -1,0 +1,229 @@
+"""Tests for the remote socket-worker backend (hermetic fakes).
+
+The pool under test never spawns real worker subprocesses here: fake
+workers implemented as in-process threads speak the wire protocol, so
+the tests pin down framing, handshake and failure semantics without
+paying session-warmup cost. End-to-end coverage of real ``repro
+worker`` subprocesses lives in the CI serve-smoke job
+(``benchmarks/service_bench.py --backend remote``).
+"""
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.config import GpuConfig
+from repro.engine.remote import (
+    RemoteWorkerError,
+    RemoteWorkerPool,
+    _portable,
+    recv_frame,
+    send_frame,
+)
+from repro.engine.worker import WorkerSpec
+
+
+def _spec(tmp_path) -> WorkerSpec:
+    return WorkerSpec(
+        base_config=GpuConfig(), scale=0.1, store_root=str(tmp_path),
+    )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_frame(a, {"x": [1, 2, 3]})
+            assert recv_frame(b) == {"x": [1, 2, 3]}
+
+    def test_eof_on_closed_peer(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">Q", 1 << 40))
+            with pytest.raises(EOFError, match="oversized"):
+                recv_frame(b)
+
+    def test_portable_wraps_unpicklable_exceptions(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        shipped = _portable(Unpicklable("boom"))
+        assert isinstance(shipped, RuntimeError)
+        assert "Unpicklable" in str(shipped)
+        pickle.dumps(shipped)
+
+        plain = ValueError("fine")
+        assert _portable(plain) is plain
+
+
+def _free_port() -> int:
+    probe = socket.create_server(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class _FakeWorker(threading.Thread):
+    """An in-process peer speaking the worker protocol.
+
+    ``die_after`` ends the connection abruptly after N completed tasks
+    — the wire-level signature of a chaos-killed worker.
+    """
+
+    def __init__(self, port: int, *, ready: bool = True,
+                 die_after: "int | None" = None) -> None:
+        super().__init__(daemon=True)
+        self.port = port
+        self.ready = ready
+        self.die_after = die_after
+        self.spec = None
+
+    def _dial(self) -> socket.socket:
+        # The worker thread may dial before the pool binds its
+        # listener; a refused connection means "not yet", not failure.
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                return socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=10
+                )
+            except ConnectionRefusedError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+
+    def run(self) -> None:
+        sock = self._dial()
+        try:
+            self.spec = recv_frame(sock)
+            if not self.ready:
+                send_frame(sock, ("init_error", RuntimeError("bad init")))
+                return
+            send_frame(sock, ("ready", 4242))
+            done = 0
+            while True:
+                if self.die_after is not None and done >= self.die_after:
+                    return  # abrupt close mid-protocol: a dead worker
+                try:
+                    fn, args = recv_frame(sock)
+                except (EOFError, OSError):
+                    return
+                try:
+                    send_frame(sock, ("ok", fn(*args)))
+                except Exception as exc:  # noqa: BLE001 — wire protocol
+                    send_frame(sock, ("exc", exc))
+                done += 1
+        finally:
+            sock.close()
+
+
+def _make_pool(tmp_path, workers: "list[_FakeWorker]", port: int):
+    for worker in workers:
+        worker.start()
+    return RemoteWorkerPool(
+        _spec(tmp_path), len(workers), port=port, spawn=False,
+        connect_timeout=10.0,
+    )
+
+
+def _add(a, b):
+    return a + b
+
+
+def _raise(message):
+    raise ValueError(message)
+
+
+_GATE = threading.Event()
+_STARTED = threading.Event()
+
+
+def _block():
+    _STARTED.set()
+    _GATE.wait(timeout=10)
+    return "released"
+
+
+class TestPool:
+    def test_handshake_ships_spec_and_results_flow(self, tmp_path):
+        port = _free_port()
+        worker = _FakeWorker(port)
+        pool = _make_pool(tmp_path, [worker], port)
+        try:
+            assert pool.submit(_add, 2, 3).result(timeout=10) == 5
+            assert isinstance(worker.spec, WorkerSpec)
+            assert worker.spec.store_root == str(tmp_path)
+        finally:
+            pool.shutdown()
+
+    def test_task_exception_travels_as_exception(self, tmp_path):
+        port = _free_port()
+        pool = _make_pool(tmp_path, [_FakeWorker(port)], port)
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                pool.submit(_raise, "boom").result(timeout=10)
+            # the worker survives a task exception
+            assert pool.submit(_add, 1, 1).result(timeout=10) == 2
+        finally:
+            pool.shutdown()
+
+    def test_failed_init_raises_typed_error(self, tmp_path):
+        port = _free_port()
+        with pytest.raises(RemoteWorkerError, match="failed to initialize"):
+            _make_pool(tmp_path, [_FakeWorker(port, ready=False)], port)
+
+    def test_nobody_connects_raises_typed_error(self, tmp_path):
+        port = _free_port()
+        with pytest.raises(RemoteWorkerError, match="connected within"):
+            RemoteWorkerPool(
+                _spec(tmp_path), 1, port=port, spawn=False,
+                connect_timeout=0.2,
+            )
+
+    def test_dead_worker_breaks_pool_like_process_pool(self, tmp_path):
+        """A worker dying mid-task must poison the whole pool with
+        BrokenProcessPool — the exact signal ChunkSupervisor's rebuild
+        path already handles for the fork backend."""
+        port = _free_port()
+        pool = _make_pool(tmp_path, [_FakeWorker(port, die_after=1)], port)
+        try:
+            assert pool.submit(_add, 1, 1).result(timeout=10) == 2
+            doomed = pool.submit(_add, 2, 2)
+            with pytest.raises(BrokenProcessPool):
+                doomed.result(timeout=10)
+            assert pool.broken
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_add, 3, 3)
+        finally:
+            pool.terminate()
+
+    def test_broken_pool_fails_queued_futures(self, tmp_path):
+        port = _free_port()
+        _GATE.clear()
+        _STARTED.clear()
+        pool = _make_pool(tmp_path, [_FakeWorker(port)], port)
+        try:
+            blocker = pool.submit(_block)  # occupies the only worker
+            assert _STARTED.wait(timeout=10)
+            queued = pool.submit(_add, 1, 1)  # sits in the task queue
+            pool._mark_broken()
+            with pytest.raises(BrokenProcessPool):
+                queued.result(timeout=10)
+            _GATE.set()
+            blocker.result(timeout=10)  # in-flight task still completes
+        finally:
+            pool.terminate()

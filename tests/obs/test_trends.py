@@ -11,6 +11,7 @@ from repro.obs.trends import (
     MAD_SIGMA,
     analyze_ledger,
     analyze_records,
+    is_noisy_metric,
     is_time_metric,
     metric_direction,
     time_abs_floor,
@@ -52,6 +53,48 @@ class TestMetricClassification:
     ])
     def test_deterministic_metrics_are_two_sided(self, name):
         assert metric_direction(name) == DIRECTION_BOTH
+
+    @pytest.mark.parametrize("name", [
+        "requests_per_sec", "coalesce_rate", "store_hit_rate",
+    ])
+    def test_service_throughput_metrics_are_low_bad(self, name):
+        assert metric_direction(name) == DIRECTION_LOW_BAD
+
+    @pytest.mark.parametrize("name", [
+        "peak_queue_depth", "rejected",
+        "counter.resilience.admission_rejections",
+    ])
+    def test_service_backpressure_metrics_are_high_bad(self, name):
+        assert metric_direction(name) == DIRECTION_HIGH_BAD
+
+    @pytest.mark.parametrize("name", [
+        "requests_per_sec", "sequential_rps", "speedup_vs_sequential",
+        "coalesced_batches", "batch_size_mean", "peak_queue_depth",
+    ])
+    def test_scheduling_noisy_metrics(self, name):
+        assert is_noisy_metric(name)
+        assert not is_noisy_metric("counter.texture.fragments")
+
+    def test_noisy_metrics_ungated_until_three_samples(self):
+        # two runs (one historical sample): a 40% throughput drop is
+        # reported but never flagged — scheduling noise, not evidence
+        records = [
+            record({"requests_per_sec": 2000.0}, kind="serve"),
+            record({"requests_per_sec": 1200.0}, kind="serve"),
+        ]
+        report = analyze_records(records, kind="serve")
+        [group] = report.groups
+        [metric] = group.metrics
+        assert metric.direction == DIRECTION_LOW_BAD
+        assert not metric.flagged
+        # with three historical samples the gate arms
+        armed = analyze_records(
+            [record({"requests_per_sec": 2000.0}, kind="serve")] * 4
+            + [record({"requests_per_sec": 1200.0}, kind="serve")],
+            kind="serve",
+        )
+        [group] = armed.groups
+        assert group.metrics[0].flagged
 
     def test_abs_floor_is_half_a_millisecond_in_each_unit(self):
         assert time_abs_floor("stage_ms.evaluate") == 0.5

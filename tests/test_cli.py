@@ -61,3 +61,76 @@ class TestCommands:
     def test_repro_error_maps_to_exit_1(self, capsys):
         assert main(["compare", "nonexistent-0x0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeWorkerParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 7070
+        assert args.backend is None
+        assert args.store_prefix == 1
+        assert args.max_batch == 64
+
+    def test_serve_backend_choices(self):
+        args = build_parser().parse_args(["serve", "--backend", "remote"])
+        assert args.backend == "remote"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "bogus"])
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_rejects_malformed_connect(self, capsys):
+        assert main(["worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def _populated_store(self, tmp_path):
+        from repro.engine.capture_store import ShardedCaptureStore
+        root = tmp_path / "captures"
+        store = ShardedCaptureStore(root, prefix=2)
+        shard = root / "ab"
+        shard.mkdir(parents=True)
+        (shard / "w-f0-ab00000000000000.npz").write_bytes(b"x" * 2048)
+        (shard / "w-f1-ab11111111111111.npz").write_bytes(b"y" * 2048)
+        corrupt = root / ".corrupt"
+        corrupt.mkdir()
+        (corrupt / "bad.npz").write_bytes(b"z" * 512)
+        return root, store
+
+    def test_stats_reports_shards_and_quarantine(self, tmp_path, capsys):
+        root, _store = self._populated_store(tmp_path)
+        assert main(["store", "stats", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "shard prefix 2" in out  # width auto-detected
+        assert "ab" in out
+        assert "2 entry(ies)" in out
+        assert ".corrupt/ quarantine: 1 file(s)" in out
+
+    def test_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_prune_dry_run_touches_nothing(self, tmp_path, capsys):
+        root, store = self._populated_store(tmp_path)
+        assert main([
+            "store", "prune", str(root),
+            "--max-bytes", "2048", "--dry-run",
+        ]) == 0
+        assert "would evict 1 entry(ies)" in capsys.readouterr().out
+        assert len(store.entries()) == 2  # nothing actually evicted
+
+    def test_prune_evicts_oldest(self, tmp_path, capsys):
+        import os
+        root, store = self._populated_store(tmp_path)
+        entries = store.entries()
+        os.utime(entries[0][0], (1_000, 1_000))  # definite oldest
+        assert main([
+            "store", "prune", str(root), "--max-bytes", "2048",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 entry(ies)" in out
+        assert len(store.entries()) == 1
